@@ -1,0 +1,84 @@
+"""Ablation: channel-forwarding pruning (paper section 2.3).
+
+"As an optimization, our runtime system avoids forwarding events on
+channels that would not lead to any compatible subscribed handlers."
+
+Topology: one provider fanned out over 64 channels, only one of which
+leads to a subscriber of the triggered event type.  With pruning the other
+63 forwards are skipped (after a cached reachability check); without it
+every channel forwards and every destination discards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentDefinition, ComponentSystem, ManualScheduler, handles
+
+from benchmarks.support import print_table
+from tests.kit import Collector, EchoServer, Ping, PingPort, Scaffold
+
+FANOUT = 64
+_results: dict[str, float] = {}
+
+
+class DeafClient(ComponentDefinition):
+    """Requires PingPort but subscribes to nothing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.requires(PingPort)
+
+
+def build_world(prune: bool):
+    system = ComponentSystem(
+        scheduler=ManualScheduler(), fault_policy="raise", prune_channels=prune
+    )
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["listener"] = scaffold.create(Collector, count=0)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["listener"].required(PingPort)
+        )
+        for _ in range(FANOUT - 1):
+            deaf = scaffold.create(DeafClient)
+            scaffold.connect(built["server"].provided(PingPort), deaf.required(PingPort))
+
+    system.bootstrap(Scaffold, build)
+    system.await_quiescence()
+    return system, built
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["pruned", "unpruned"])
+def test_channel_pruning(benchmark, prune):
+    system, built = build_world(prune)
+    driver = built["listener"].definition
+
+    def storm():
+        for n in range(50):
+            driver.trigger(Ping(n), driver.port)
+        system.await_quiescence()
+
+    benchmark(storm)
+    _results["pruned" if prune else "unpruned"] = benchmark.stats.stats.mean
+    assert len(built["server"].definition.pings) > 0
+    system.shutdown()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def pruning_report():
+    yield
+    if len(_results) < 2:
+        return
+    speedup = _results["unpruned"] / _results["pruned"]
+    print_table(
+        "Channel pruning ablation (50 pongs x 64-way fan-out, 1 subscriber)",
+        ("variant", "mean per storm"),
+        [
+            ("pruned", f"{_results['pruned'] * 1000:.2f} ms"),
+            ("unpruned", f"{_results['unpruned'] * 1000:.2f} ms"),
+            ("speedup", f"{speedup:.2f}x"),
+        ],
+    )

@@ -1,0 +1,109 @@
+"""Core runtime micro-benchmarks: the "Kompics runtime overheads" the paper
+folds into its latency measurement (message dispatching and execution).
+
+Measures the primitive costs everything else is built from:
+- event dispatch rate through a port/channel pair (trigger -> handler),
+- publish-subscribe fan-out to many subscribers,
+- component create/destroy,
+- connect/disconnect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentSystem, ManualScheduler
+
+from tests.kit import Collector, EchoServer, Ping, PingPort, Scaffold, make_system
+
+
+@pytest.fixture()
+def world():
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["scaffold"] = scaffold
+        built["server"] = scaffold.create(EchoServer)
+        built["client"] = scaffold.create(Collector, count=0)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    system.await_quiescence()
+    yield system, built
+    system.shutdown()
+
+
+def test_event_round_trip_rate(benchmark, world):
+    """One trigger -> channel -> handler -> reply -> handler cycle."""
+    system, built = world
+    client = built["client"].definition
+
+    def round_trip():
+        client.trigger(Ping(1), client.port)
+        system.await_quiescence()
+
+    benchmark(round_trip)
+
+
+def test_event_batch_dispatch(benchmark, world):
+    """Amortized dispatch cost: 100 pings per scheduling drain."""
+    system, built = world
+    client = built["client"].definition
+
+    def batch():
+        for n in range(100):
+            client.trigger(Ping(n), client.port)
+        system.await_quiescence()
+
+    benchmark(batch)
+
+
+def test_fanout_to_32_subscribers(benchmark):
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["clients"] = [scaffold.create(Collector, count=0) for _ in range(32)]
+        for client in built["clients"]:
+            scaffold.connect(
+                built["server"].provided(PingPort), client.required(PingPort)
+            )
+
+    system.bootstrap(Scaffold, build)
+    system.await_quiescence()
+    driver = built["clients"][0].definition
+
+    def fanout():
+        driver.trigger(Ping(1), driver.port)  # server answers; Pong fans out
+        system.await_quiescence()
+
+    benchmark(fanout)
+    system.shutdown()
+
+
+def test_component_create_destroy(benchmark, world):
+    _system, built = world
+    scaffold = built["scaffold"]
+
+    def cycle():
+        component = scaffold.create(EchoServer)
+        scaffold.destroy(component)
+
+    benchmark(cycle)
+
+
+def test_connect_disconnect(benchmark, world):
+    _system, built = world
+    scaffold = built["scaffold"]
+    provided = built["server"].provided(PingPort)
+    required = built["client"].required(PingPort)
+
+    def cycle():
+        channel = scaffold.connect(provided, required)
+        channel.destroy()
+
+    benchmark(cycle)

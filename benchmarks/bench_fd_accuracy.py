@@ -1,0 +1,115 @@
+"""Ablation: failure-detector accuracy vs. message loss.
+
+False suspicions are expensive upstream (ring repairs, view
+reinstallations), so the ping failure detector only suspects after K
+consecutive silent rounds.  This bench sweeps K against message-loss rates
+and counts false suspicions of a perfectly healthy peer over a fixed
+virtual-time window — quantifying the design choice (default K=2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Network
+from repro.protocols.failure_detector import (
+    FailureDetector,
+    MonitorNode,
+    PingFailureDetector,
+    Restore,
+    Suspect,
+)
+from repro.simulation import Simulation, emulator_of
+
+from benchmarks.support import print_table
+from tests.kit import Scaffold
+from tests.sim_kit import SimHost, sim_address
+
+WINDOW = 120.0  # simulated seconds
+LOSS = 0.10
+
+_results: dict[int, dict] = {}
+
+
+def run_detector(misses_required: int) -> dict:
+    simulation = Simulation(seed=23)
+    built = {}
+
+    def make_builder(address, watch):
+        def builder(host, net, timer):
+            fd = host.create(
+                PingFailureDetector, address,
+                interval=0.5, misses_required=misses_required,
+            )
+            host.wire_network_and_timer(fd)
+
+            from repro import ComponentDefinition, handles
+
+            class Observer(ComponentDefinition):
+                def __init__(self) -> None:
+                    super().__init__()
+                    self.fd = self.requires(FailureDetector)
+                    self.suspects = 0
+                    self.restores = 0
+                    self.subscribe(self.on_suspect, self.fd)
+                    self.subscribe(self.on_restore, self.fd)
+
+                @handles(Suspect)
+                def on_suspect(self, _event):
+                    self.suspects += 1
+
+                @handles(Restore)
+                def on_restore(self, _event):
+                    self.restores += 1
+
+            observer = host.create(Observer)
+            host.connect(fd.provided(FailureDetector), observer.required(FailureDetector))
+            built[address.node_id] = observer.definition
+            if watch is not None:
+                observer.definition.trigger(MonitorNode(watch), observer.definition.fd)
+
+        return builder
+
+    def build(scaffold):
+        a, b = sim_address(1), sim_address(2)
+        scaffold.create(SimHost, a, make_builder(a, watch=b))
+        scaffold.create(SimHost, b, make_builder(b, watch=None))
+
+    simulation.bootstrap(Scaffold, build)
+    emulator_of(simulation.system).loss_rate = LOSS
+    simulation.run(until=WINDOW)
+    observer = built[1]
+    return {
+        "misses_required": misses_required,
+        "false_suspects": observer.suspects,
+        "restores": observer.restores,
+    }
+
+
+@pytest.mark.parametrize("misses", [1, 2, 3])
+def test_fd_accuracy(benchmark, misses):
+    result = benchmark.pedantic(run_detector, args=(misses,), iterations=1, rounds=1)
+    _results[misses] = result
+    benchmark.extra_info.update(result)
+    # Eventual accuracy: every false suspicion is eventually restored.
+    assert result["false_suspects"] == result["restores"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fd_report():
+    yield
+    if len(_results) < 3:
+        return
+    rows = [
+        (misses, data["false_suspects"], data["restores"])
+        for misses, data in sorted(_results.items())
+    ]
+    print_table(
+        f"FD accuracy — false suspicions of a live peer "
+        f"({LOSS:.0%} loss, {WINDOW:.0f}s simulated)",
+        ("consecutive misses", "false suspects", "restores"),
+        rows,
+    )
+    # Shape: the threshold monotonically suppresses false suspicions.
+    ordered = [_results[k]["false_suspects"] for k in sorted(_results)]
+    assert ordered[0] >= ordered[1] >= ordered[2]

@@ -1,0 +1,85 @@
+"""T-lat: end-to-end get/put latency, replication degree 5, 1 KB values.
+
+Paper (section 4.1, in text): "Using the web interface to interact with
+CATS (configured with a replication degree of 5) on the local-area
+network, resulted in sub-millisecond end-to-end latencies for get and put
+operations" — two message round-trips plus 4x serialization, 4x
+deserialization, plus runtime dispatch overhead.
+
+We reproduce the setup in local interactive mode: a 5-node cluster with
+replication degree 5, 1 KB values, ops issued through a blocking client
+driver.  The message path (resolve -> group -> read quorum -> [write
+quorum]) is the paper's; the 'LAN' is the in-process loopback network, so
+latency here is almost purely the Kompics-runtime overhead the paper
+includes in its measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.support import LocalCatsCluster, bench_config, percentile, print_table
+
+VALUE = "x" * 1024
+
+_results: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = LocalCatsCluster(
+        node_ids=[6_000, 19_000, 32_000, 45_000, 58_000],
+        config=bench_config(replication_degree=5),
+    )
+    # Pre-populate so gets hit existing keys.
+    for key in range(0, 60_000, 6_000):
+        response = cluster.driver.put(key, VALUE)
+        assert response.ok
+    yield cluster
+    cluster.close()
+
+
+def test_put_latency(benchmark, cluster):
+    import itertools
+
+    keys = itertools.count(1, 7)  # infinite: autotuned round counts vary
+
+    def one_put():
+        response = cluster.driver.put(next(keys) % 65_536, VALUE)
+        assert response.ok
+
+    benchmark(one_put)
+    _results["put"] = {"mean_ms": benchmark.stats.stats.mean * 1000}
+
+
+def test_get_latency(benchmark, cluster):
+    import itertools
+
+    keys = itertools.count(0, 6_000)
+
+    def one_get():
+        response = cluster.driver.get(next(keys) % 60_000)
+        assert response.found
+
+    benchmark(one_get)
+    _results["get"] = {"mean_ms": benchmark.stats.stats.mean * 1000}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def latency_report():
+    yield
+    if not _results:
+        return
+    rows = [
+        (op, f"{data['mean_ms']:.3f} ms", "sub-millisecond (LAN, JVM)")
+        for op, data in sorted(_results.items())
+    ]
+    print_table(
+        "T-lat — get/put end-to-end latency (replication=5, 1 KB values)",
+        ("op", "measured mean", "paper"),
+        rows,
+    )
+    # Shape: the quorum path stays in the low single-digit milliseconds on
+    # the in-process loopback (the paper reports sub-ms on a JVM + LAN).
+    assert _results["get"]["mean_ms"] < 20
+    assert _results["put"]["mean_ms"] < 20

@@ -1,0 +1,105 @@
+"""Ablation: one-hop routing vs. the ring walk (paper Fig 11 design choice).
+
+CATS routes operations through a One-Hop Router fed by Cyclon peer
+sampling instead of walking ring successor pointers.  This bench
+quantifies why: resolve the primary for random keys via (a) the router's
+membership table and (b) pure ring FindSuccessor forwarding, and compare
+message hops and completion latency in deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentDefinition
+from repro.cats import CatsSimulator, Experiment, JoinNode, LookupCmd
+from repro.core.dispatch import trigger
+from repro.simulation import Simulation
+
+from benchmarks.support import bench_config, print_table
+
+NODES = 24
+LOOKUPS = 60
+
+_results: dict[str, dict] = {}
+
+
+def build_ring(fingers_enabled: bool):
+    simulation = Simulation(seed=13)
+    built = {}
+    config = bench_config()
+
+    class Main(ComponentDefinition):
+        def __init__(self) -> None:
+            super().__init__()
+            built["sim"] = self.create(CatsSimulator, config)
+
+    simulation.bootstrap(Main)
+    simulator = built["sim"].definition
+    port = simulator.core.port(Experiment, provided=True).outside
+    stride = (1 << 16) // NODES
+    for index in range(NODES):
+        trigger(JoinNode(index * stride), port)
+        simulation.run(until=simulation.now() + 0.2)
+    simulation.run(until=simulation.now() + 15.0)
+    assert simulator.alive_count == NODES
+    if not fingers_enabled:
+        # Cripple passive finger learning: successor-walk-only routing.
+        for host in simulator.hosts.values():
+            ring = host.definition.node.definition.ring.definition
+            ring._fingers.clear()
+            ring.finger_cache_size = 0
+    return simulation, simulator, port
+
+
+def run_lookups(fingers_enabled: bool) -> dict:
+    simulation, simulator, port = build_ring(fingers_enabled)
+    rng = simulation.system.random
+    for _ in range(LOOKUPS):
+        trigger(
+            LookupCmd(rng.randrange(0, 1 << 16), rng.randrange(0, 1 << 16)), port
+        )
+        simulation.run(until=simulation.now() + 0.5)
+    simulation.run(until=simulation.now() + 5.0)
+    stats = simulator.stats
+    hops = stats.lookup_hops or [0]
+    latencies = stats.lookup_latencies or [0]
+    return {
+        "completed": stats.lookups_completed,
+        "mean_hops": sum(hops) / len(hops),
+        "max_hops": max(hops),
+        "mean_latency_ms": 1000 * sum(latencies) / len(latencies),
+    }
+
+
+@pytest.mark.parametrize(
+    "fingers", [True, False], ids=["one-hop-fingers", "successor-walk"]
+)
+def test_lookup_routing(benchmark, fingers):
+    result = benchmark.pedantic(run_lookups, args=(fingers,), iterations=1, rounds=1)
+    _results["fingers" if fingers else "walk"] = result
+    benchmark.extra_info.update(result)
+    assert result["completed"] >= LOOKUPS * 0.9
+
+
+@pytest.fixture(scope="module", autouse=True)
+def hops_report():
+    yield
+    if len(_results) < 2:
+        return
+    rows = [
+        (
+            name,
+            data["completed"],
+            f"{data['mean_hops']:.2f}",
+            data["max_hops"],
+            f"{data['mean_latency_ms']:.1f} ms",
+        )
+        for name, data in sorted(_results.items())
+    ]
+    print_table(
+        f"Lookup routing ablation ({NODES} nodes, {LOOKUPS} lookups)",
+        ("routing", "completed", "mean hops", "max hops", "mean latency"),
+        rows,
+    )
+    assert _results["fingers"]["mean_hops"] <= _results["walk"]["mean_hops"]

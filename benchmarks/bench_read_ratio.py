@@ -1,0 +1,109 @@
+"""Read-ratio sweep: how the quorum protocol's cost splits by op mix.
+
+The paper's headline workload is "read-intensive"; this sweep quantifies
+why that matters for CATS: a get that finds an agreed quorum completes in
+one round-trip phase, while every put (and every get that observed
+disagreement) pays the second, write phase.  Driven by the workload
+generator over a fixed simulated cluster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentDefinition
+from repro.cats import (
+    CatsSimulator,
+    Experiment,
+    GetCmd,
+    JoinNode,
+    PutCmd,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.core.dispatch import trigger
+from repro.simulation import Simulation, UniformLatency, emulator_of
+
+from benchmarks.support import bench_config, print_table
+
+NODES = 8
+OPS = 300
+RATIOS = [0.5, 0.9, 0.99]
+
+_results: dict[float, dict] = {}
+
+
+def run_mix(read_ratio: float) -> dict:
+    simulation = Simulation(seed=29)
+    built = {}
+
+    class Main(ComponentDefinition):
+        def __init__(self) -> None:
+            super().__init__()
+            built["sim"] = self.create(CatsSimulator, bench_config())
+
+    simulation.bootstrap(Main)
+    simulator = built["sim"].definition
+    emulator_of(simulation.system).latency = UniformLatency(0.0005, 0.001)
+    port = simulator.core.port(Experiment, provided=True).outside
+
+    stride = (1 << 16) // NODES
+    for index in range(NODES):
+        trigger(JoinNode(index * stride + 7), port)
+        simulation.run(until=simulation.now() + 0.1)
+    simulation.run(until=simulation.now() + 12.0)
+
+    spec = WorkloadSpec(key_count=64, read_ratio=read_ratio, value_size=1024)
+    generator = WorkloadGenerator(spec, key_space_bits=16, seed=3)
+    # Pre-populate the working set.
+    for key in generator.keys:
+        trigger(PutCmd(key, key, "seed"), port)
+    simulation.run(until=simulation.now() + 5.0)
+
+    start = simulation.now()
+    rng = simulation.system.random
+    for op in generator.ops(OPS):
+        issuer = rng.randrange(1 << 16)
+        if op.kind == "get":
+            trigger(GetCmd(issuer, op.key), port)
+        else:
+            trigger(PutCmd(issuer, op.key, op.value), port)
+        simulation.run(until=simulation.now() + 0.01)
+    simulation.run(until=simulation.now() + 5.0)
+
+    stats = simulator.stats
+    latencies = sorted(stats.op_latencies[-OPS:])
+    return {
+        "read_ratio": read_ratio,
+        "completed": stats.gets_completed + stats.puts_completed - len(generator.keys),
+        "mean_ms": 1000 * sum(latencies) / len(latencies),
+        "p99_ms": 1000 * latencies[int(len(latencies) * 0.99)],
+    }
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_read_ratio_mix(benchmark, ratio):
+    result = benchmark.pedantic(run_mix, args=(ratio,), iterations=1, rounds=1)
+    _results[ratio] = result
+    benchmark.extra_info.update(result)
+    assert result["completed"] >= OPS * 0.95
+
+
+@pytest.fixture(scope="module", autouse=True)
+def ratio_report():
+    yield
+    if len(_results) < 2:
+        return
+    rows = [
+        (f"{ratio:.0%} reads", data["completed"], f"{data['mean_ms']:.2f} ms",
+         f"{data['p99_ms']:.2f} ms")
+        for ratio, data in sorted(_results.items())
+    ]
+    print_table(
+        f"Read-ratio sweep ({NODES} nodes, {OPS} ops, 1 KB values)",
+        ("mix", "completed", "mean latency", "p99"),
+        rows,
+    )
+    # Shape: read-heavier mixes have lower mean latency (fewer write phases).
+    ordered = [(_results[r]["mean_ms"]) for r in sorted(_results)]
+    assert ordered[0] >= ordered[-1], ordered

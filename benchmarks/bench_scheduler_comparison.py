@@ -1,0 +1,75 @@
+"""Ablation: pluggable schedulers on an identical workload.
+
+The paper's central architectural decision is decoupling component code
+from its executor (section 3).  This bench runs the same echo workload
+under three executors — the deterministic manual scheduler, a one-worker
+pool, and the 4-worker work-stealing pool — and reports wall time.  On
+CPython the pools cannot beat single-threaded dispatch on CPU-bound
+handlers (GIL); what this shows is the *overhead* each execution mode
+adds, i.e. what simulation-vs-production costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentSystem, ManualScheduler, WorkStealingScheduler
+
+from benchmarks.support import print_table
+from tests.kit import Collector, EchoServer, PingPort, Scaffold, wait_until
+
+PAIRS = 16
+PINGS = 150
+
+_results: dict[str, float] = {}
+
+
+def build_system(kind: str):
+    if kind == "manual":
+        scheduler = ManualScheduler()
+    elif kind == "single":
+        scheduler = WorkStealingScheduler(workers=1)
+    else:
+        scheduler = WorkStealingScheduler(workers=4)
+    return ComponentSystem(scheduler=scheduler, fault_policy="record"), scheduler
+
+
+def run_workload(kind: str) -> None:
+    system, scheduler = build_system(kind)
+    built = {"pairs": []}
+
+    def build(scaffold):
+        for _ in range(PAIRS):
+            server = scaffold.create(EchoServer)
+            client = scaffold.create(Collector, count=PINGS)
+            scaffold.connect(server.provided(PingPort), client.required(PingPort))
+            built["pairs"].append(client)
+
+    system.bootstrap(Scaffold, build)
+    if kind == "manual":
+        scheduler.run_to_quiescence()
+    else:
+        assert wait_until(
+            lambda: all(len(c.definition.pongs) == PINGS for c in built["pairs"]),
+            timeout=120,
+        )
+    assert all(len(c.definition.pongs) == PINGS for c in built["pairs"])
+    system.shutdown()
+
+
+@pytest.mark.parametrize("kind", ["manual", "single", "pool4"])
+def test_scheduler(benchmark, kind):
+    benchmark.pedantic(run_workload, args=(kind,), iterations=1, rounds=3)
+    _results[kind] = benchmark.stats.stats.mean
+
+
+@pytest.fixture(scope="module", autouse=True)
+def scheduler_report():
+    yield
+    if len(_results) < 3:
+        return
+    print_table(
+        "Scheduler comparison (same components, three executors)",
+        ("scheduler", "wall time"),
+        [(kind, f"{seconds * 1000:.0f} ms") for kind, seconds in sorted(_results.items())],
+    )

@@ -1,0 +1,130 @@
+"""Table 1: simulated-time compression vs. number of peers.
+
+The paper simulates CATS for 4275 s of simulated time and reports the
+ratio simulated-time / wall-clock-time ("time compression"):
+
+    peers:        64    128    256    512    1024   2048  4096  8192
+    compression: 475x  237.5x 118.75x 59.38x 28.31x 11.74x 4.96x 2.01x
+
+We regenerate the same experiment: boot N CATS nodes under deterministic
+simulation, run a steady-state window of churnless operation plus periodic
+protocol traffic (stabilization, failure detection, Cyclon) and lookups,
+and report simulated/wall time per N.  The shape to reproduce: compression
+falls roughly inversely with N (each simulated second costs O(N) events).
+Absolute ratios are far below the JVM numbers — pure-Python event dispatch
+is the substrate — so the crossover to 1x lands at a smaller N; see
+EXPERIMENTS.md.
+
+Default peers: 32..256 (REPRO_BENCH_FULL=1 extends to 1024) with a scaled
+simulated horizon (REPRO_SIM_HORIZON, default 30 s).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import ComponentDefinition
+from repro.cats import CatsSimulator, Experiment, JoinNode, LookupCmd
+from repro.core.dispatch import trigger
+from repro.simulation import Simulation
+
+from benchmarks.support import FULL, bench_config, print_table
+
+HORIZON = float(os.environ.get("REPRO_SIM_HORIZON", "30"))
+PEERS = [32, 64, 128, 256] + ([512, 1024] if FULL else [])
+
+PAPER_ROWS = {
+    64: 475.0, 128: 237.5, 256: 118.75, 512: 59.38,
+    1024: 28.31, 2048: 11.74, 4096: 4.96, 8192: 2.01,
+}
+
+_results: dict[int, dict] = {}
+
+
+def run_simulation(peers: int) -> dict:
+    simulation = Simulation(seed=7)
+    built = {}
+
+    class Main(ComponentDefinition):
+        def __init__(self) -> None:
+            super().__init__()
+            built["sim"] = self.create(CatsSimulator, bench_config())
+
+    simulation.bootstrap(Main)
+    simulator = built["sim"].definition
+    experiment_port = simulator.core.port(Experiment, provided=True).outside
+    rng = simulation.system.random
+
+    # Boot N peers quickly (0.05 s apart in virtual time), then settle.
+    for index in range(peers):
+        trigger(JoinNode(rng.randrange(0, 1 << 16)), experiment_port)
+        simulation.run(until=simulation.now() + 0.05)
+    simulation.run(until=simulation.now() + 10.0)
+    boot_end = simulation.now()
+
+    # Steady-state window: periodic protocols + a background lookup load
+    # proportional to the system size (as in the paper's scenario).
+    lookup_interval = max(0.01, 2.0 / peers)
+    next_lookup = boot_end
+    wall_start = time.perf_counter()
+    horizon = boot_end + HORIZON
+    while simulation.now() < horizon:
+        next_lookup += lookup_interval
+        trigger(
+            LookupCmd(rng.randrange(0, 1 << 16), rng.randrange(0, 1 << 14)),
+            experiment_port,
+        )
+        simulation.run(until=min(next_lookup, horizon))
+    wall = time.perf_counter() - wall_start
+
+    return {
+        "peers": peers,
+        "alive": simulator.alive_count,
+        "simulated_s": HORIZON,
+        "wall_s": wall,
+        "compression": HORIZON / wall,
+        "events": simulation.events_dispatched,
+    }
+
+
+@pytest.mark.parametrize("peers", PEERS)
+def test_table1_time_compression(benchmark, peers):
+    result = benchmark.pedantic(run_simulation, args=(peers,), iterations=1, rounds=1)
+    _results[peers] = result
+    benchmark.extra_info.update(result)
+    assert result["alive"] >= peers * 0.9  # the ring actually formed
+
+
+@pytest.fixture(scope="module", autouse=True)
+def table1_report():
+    """Assemble and print the Table 1 reproduction; check the shape.
+
+    Runs as module teardown so it works under --benchmark-only.
+    """
+    yield
+    if len(_results) < 2:
+        return
+    rows = []
+    for peers in sorted(_results):
+        r = _results[peers]
+        paper = PAPER_ROWS.get(peers, "-")
+        rows.append(
+            (
+                peers,
+                f"{r['compression']:.2f}x",
+                f"{paper}x" if paper != "-" else "-",
+                f"{r['wall_s']:.1f}s",
+                r["events"],
+            )
+        )
+    print_table(
+        f"Table 1 — time compression over {HORIZON:.0f}s simulated",
+        ("peers", "compression", "paper(4275s, JVM)", "wall", "events"),
+        rows,
+    )
+    # Shape check: compression decreases monotonically with peer count.
+    ordered = [_results[p]["compression"] for p in sorted(_results)]
+    assert all(a > b for a, b in zip(ordered, ordered[1:])), ordered

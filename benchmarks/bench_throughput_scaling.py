@@ -1,0 +1,155 @@
+"""T-scale: read throughput vs. cluster size (read-intensive, 1 KB values).
+
+Paper (section 4.1, in text): "for read-intensive workloads, reading 1KB
+values, CATS scaled on Rackspace to 96 machines providing just over
+100,000 reads/sec" — i.e. aggregate read throughput grows near-linearly
+with machine count.
+
+One Python process cannot host 96 real machines, so the scaling series is
+measured in *deterministic simulation*: every node serves C closed-loop
+readers — each issues its next get the moment the previous one completes —
+with message latencies from the emulated LAN (0.5–1 ms one-way).  Each
+quorum read costs two round-trips at the coordinator, so per-client rate
+is bounded by the simulated network, and aggregate completed reads per
+simulated second must grow near-linearly with node count (quorum reads
+touch only a key's replica group).  That is the paper's shape; absolute
+numbers depend on the latency model, not the JVM/Rackspace testbed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ComponentDefinition, handles
+from repro.cats import (
+    CatsSimulator,
+    Experiment,
+    GetCmd,
+    GetResponse,
+    JoinNode,
+    PutCmd,
+)
+from repro.core.dispatch import trigger
+from repro.simulation import Simulation, UniformLatency, emulator_of
+
+from benchmarks.support import FULL, bench_config, print_table
+
+NODES = [4, 8, 16, 32] + ([48, 96] if FULL else [])
+CLIENTS_PER_NODE = 4
+MEASURE_WINDOW = 2.0  # simulated seconds
+
+_results: dict[int, dict] = {}
+
+
+class ClosedLoopSimulator(CatsSimulator):
+    """CatsSimulator whose readers re-issue a get on every completion."""
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        self.closed_loop = False
+        self.keys: list[int] = []
+
+    def issue_read(self) -> None:
+        rng = self.system.random
+        node_ids = list(self.hosts)
+        issuer = node_ids[rng.randrange(len(node_ids))]
+        key = self.keys[rng.randrange(len(self.keys))]
+        trigger(GetCmd(issuer, key), self.core.port(Experiment, provided=True).outside)
+
+    @handles(GetResponse)
+    def on_get_response(self, response: GetResponse) -> None:
+        super().on_get_response(response)
+        if self.closed_loop:
+            self.issue_read()
+
+
+def run_read_workload(node_count: int) -> dict:
+    simulation = Simulation(seed=11)
+    built = {}
+
+    class Main(ComponentDefinition):
+        def __init__(self) -> None:
+            super().__init__()
+            built["sim"] = self.create(ClosedLoopSimulator, bench_config())
+
+    simulation.bootstrap(Main)
+    simulator = built["sim"].definition
+    emulator_of(simulation.system).latency = UniformLatency(0.0005, 0.001)
+    port = simulator.core.port(Experiment, provided=True).outside
+
+    stride = (1 << 16) // node_count
+    node_ids = [i * stride + stride // 2 for i in range(node_count)]
+    for node_id in node_ids:
+        trigger(JoinNode(node_id), port)
+        simulation.run(until=simulation.now() + 0.1)
+    simulation.run(until=simulation.now() + 12.0)
+    assert simulator.alive_count == node_count
+
+    # Populate one hot key per node region (read-intensive working set).
+    simulator.keys = [node_id - 1 for node_id in node_ids]
+    for key in simulator.keys:
+        trigger(PutCmd(key, key, "x" * 1024), port)
+    simulation.run(until=simulation.now() + 5.0)
+    assert simulator.stats.puts_completed == node_count
+
+    # Closed loop: prime C readers per node; completions re-issue.
+    simulator.closed_loop = True
+    completed_before = simulator.stats.gets_completed
+    for _ in range(node_count * CLIENTS_PER_NODE):
+        simulator.issue_read()
+    wall_start = time.perf_counter()
+    simulation.run(until=simulation.now() + MEASURE_WINDOW)
+    wall = time.perf_counter() - wall_start
+    simulator.closed_loop = False
+    simulation.run(until=simulation.now() + 2.0)  # drain
+
+    reads = simulator.stats.gets_completed - completed_before
+    return {
+        "nodes": node_count,
+        "reads": reads,
+        "reads_per_sim_s": reads / MEASURE_WINDOW,
+        "wall_s": wall,
+    }
+
+
+@pytest.mark.parametrize("nodes", NODES)
+def test_throughput_scaling(benchmark, nodes):
+    result = benchmark.pedantic(run_read_workload, args=(nodes,), iterations=1, rounds=1)
+    _results[nodes] = result
+    benchmark.extra_info.update(result)
+    assert result["reads"] > 0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def throughput_report():
+    yield
+    if len(_results) < 2:
+        return
+    base = _results[min(_results)]
+    rows = []
+    for nodes in sorted(_results):
+        r = _results[nodes]
+        speedup = r["reads_per_sim_s"] / base["reads_per_sim_s"]
+        rows.append(
+            (
+                nodes,
+                f"{r['reads_per_sim_s']:.0f}",
+                f"{speedup:.2f}x",
+                f"{nodes / base['nodes']:.2f}x",
+                f"{r['wall_s']:.1f}s",
+            )
+        )
+    print_table(
+        "T-scale — aggregate read throughput (read-intensive, 1 KB, closed loop)",
+        ("nodes", "reads/sim-s", "speedup", "ideal", "wall"),
+        rows,
+    )
+    # Shape: near-linear scaling — the largest system achieves at least
+    # half the ideal speedup over the smallest (paper: ~linear to 96).
+    sizes = sorted(_results)
+    largest, smallest = _results[sizes[-1]], _results[sizes[0]]
+    achieved = largest["reads_per_sim_s"] / smallest["reads_per_sim_s"]
+    ideal = largest["nodes"] / smallest["nodes"]
+    assert achieved >= ideal * 0.5, (achieved, ideal)

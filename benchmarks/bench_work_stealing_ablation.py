@@ -1,0 +1,83 @@
+"""T-steal: batched work stealing vs. stealing single components.
+
+Paper (section 3): "From our experiments, batching shows a considerable
+performance improvement over stealing small numbers of ready components."
+
+Workload: a message storm over many independent echo pairs, executed by a
+work-stealing pool where new work lands on the workers that produce it —
+so idle workers must steal to participate.  We compare steal_batch=1
+against steal_batch='half' (the paper's policy) on wall-clock completion
+time and number of steal operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentSystem, WorkStealingScheduler
+
+from benchmarks.support import print_table
+from tests.kit import Collector, EchoServer, PingPort, Scaffold, wait_until
+
+PAIRS = 48
+PINGS = 100
+
+_results: dict[str, dict] = {}
+
+
+def run_storm(steal_batch) -> dict:
+    scheduler = WorkStealingScheduler(workers=4, steal_batch=steal_batch)
+    system = ComponentSystem(scheduler=scheduler, fault_policy="record")
+    built = {"pairs": []}
+
+    def build(scaffold):
+        for _ in range(PAIRS):
+            server = scaffold.create(EchoServer)
+            client = scaffold.create(Collector, count=PINGS)
+            scaffold.connect(server.provided(PingPort), client.required(PingPort))
+            built["pairs"].append(client)
+
+    system.bootstrap(Scaffold, build)
+    finished = wait_until(
+        lambda: all(len(c.definition.pongs) == PINGS for c in built["pairs"]),
+        timeout=120,
+    )
+    stats = scheduler.stats()
+    system.shutdown()
+    assert finished
+    return stats
+
+
+@pytest.mark.parametrize("batch", [1, "half"], ids=["steal-1", "steal-half"])
+def test_work_stealing_batch(benchmark, batch):
+    stats = benchmark.pedantic(run_storm, args=(batch,), iterations=1, rounds=3)
+    _results[str(batch)] = {
+        "seconds": benchmark.stats.stats.mean,
+        **stats,
+    }
+    benchmark.extra_info.update(stats)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def work_stealing_report():
+    yield
+    if len(_results) < 2:
+        return
+    rows = [
+        (
+            name,
+            f"{data['seconds'] * 1000:.0f} ms",
+            data["steals"],
+            data["components_stolen"],
+            data["steal_attempts"],
+        )
+        for name, data in sorted(_results.items())
+    ]
+    print_table(
+        "T-steal — steal batch ablation (paper: batching wins considerably)",
+        ("batch", "wall time", "steals", "stolen", "attempts"),
+        rows,
+    )
+    # Shape: batch stealing needs far fewer steal operations to move the
+    # same amount of work.
+    assert _results["half"]["steals"] <= _results["1"]["steals"]

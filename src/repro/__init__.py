@@ -1,0 +1,85 @@
+"""repro — Kompics in Python.
+
+A from-scratch reproduction of *Message-Passing Concurrency for Scalable,
+Stateful, Reconfigurable Middleware* (Arad, Dowling, Haridi — MIDDLEWARE
+2012): the Kompics component model, its multi-core and deterministic-
+simulation runtimes, a reusable distributed-protocol library, and the CATS
+linearizable key-value store case study.
+
+Quickstart::
+
+    from repro import ComponentDefinition, ComponentSystem, handles
+
+    class Hello(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.subscribe(self.on_start, self.control)
+
+        @handles(Start)
+        def on_start(self, event):
+            print("hello from a component")
+
+    system = ComponentSystem()
+    system.bootstrap(Hello)
+    system.await_quiescence()
+    system.shutdown()
+"""
+
+from .core import (
+    Channel,
+    Component,
+    ComponentDefinition,
+    ControlPort,
+    Direction,
+    Event,
+    Fault,
+    Init,
+    KompicsError,
+    LifecycleState,
+    NEGATIVE,
+    POSITIVE,
+    Port,
+    PortFace,
+    PortType,
+    Start,
+    Stop,
+    handles,
+    replace_component,
+)
+from .runtime import (
+    ComponentSystem,
+    ManualScheduler,
+    Scheduler,
+    SingleThreadScheduler,
+    WorkStealingScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Channel",
+    "Component",
+    "ComponentDefinition",
+    "ComponentSystem",
+    "ControlPort",
+    "Direction",
+    "Event",
+    "Fault",
+    "Init",
+    "KompicsError",
+    "LifecycleState",
+    "ManualScheduler",
+    "NEGATIVE",
+    "POSITIVE",
+    "Port",
+    "PortFace",
+    "PortType",
+    "Scheduler",
+    "SingleThreadScheduler",
+    "Start",
+    "Stop",
+    "WorkStealingScheduler",
+    "__version__",
+    "handles",
+    "replace_component",
+]

@@ -1,0 +1,51 @@
+"""Ring key space arithmetic (CATS: a consistent-hashing identifier ring).
+
+Identifiers live in ``[0, 2**bits)`` and wrap around.  The node responsible
+for key ``k`` is its *successor*: the first node id clockwise from ``k``
+(inclusive).  Interval membership is the usual Chord-style half-open
+wrap-around test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeySpace:
+    """A modular identifier space of ``2**bits`` keys."""
+
+    bits: int = 32
+
+    @property
+    def size(self) -> int:
+        return 1 << self.bits
+
+    def normalize(self, key: int) -> int:
+        return key % self.size
+
+    def hash_key(self, raw: str | bytes | int) -> int:
+        """Map an application key onto the ring."""
+        if isinstance(raw, int):
+            return self.normalize(raw)
+        data = raw.encode() if isinstance(raw, str) else raw
+        digest = hashlib.sha1(data).digest()
+        return int.from_bytes(digest[:8], "big") % self.size
+
+    def in_interval(self, key: int, start: int, end: int) -> bool:
+        """True iff ``key`` lies in the wrap-around interval ``(start, end]``.
+
+        With ``start == end`` the interval is the whole ring (a single-node
+        system is responsible for everything).
+        """
+        key, start, end = self.normalize(key), self.normalize(start), self.normalize(end)
+        if start == end:
+            return True
+        if start < end:
+            return start < key <= end
+        return key > start or key <= end
+
+    def distance(self, start: int, end: int) -> int:
+        """Clockwise distance from ``start`` to ``end``."""
+        return (end - start) % self.size

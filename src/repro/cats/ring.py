@@ -1,0 +1,502 @@
+"""CatsRing: consistent-hashing ring topology maintenance (paper Fig 11).
+
+A Chord-style ring: every node keeps a predecessor and a successor list,
+periodically stabilizes against its successor, and notifies it.  Key lookup
+(FindSuccessor) forwards greedily through a passively learned finger cache
+(falling back to the successor walk), and only the node that *owns* the key
+— ``key in (predecessor, me]`` — answers, so lookups are correct even while
+routing state is stale.
+
+The Ring port reports RingNeighbors on every predecessor/successor-list
+change; the quorum layer derives replication groups from these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from ..network.address import Address
+from ..network.message import Network
+from ..protocols.failure_detector.port import (
+    FailureDetector,
+    MonitorNode,
+    Restore,
+    StopMonitoringNode,
+    Suspect,
+)
+from ..timer.port import ScheduleTimeout, SchedulePeriodicTimeout, Timeout, Timer, new_timeout_id
+from .events import (
+    FindSuccessor,
+    FoundSuccessor,
+    GetNeighbors,
+    GetNeighborsReply,
+    Notify,
+    Ring,
+    RingJoin,
+    RingLookup,
+    RingLookupResponse,
+    RingNeighbors,
+    RingReady,
+    new_op_id,
+)
+from .key import KeySpace
+
+MAX_LOOKUP_HOPS = 512
+
+
+@dataclass(frozen=True)
+class StabilizeTick(Timeout):
+    """Internal stabilization period."""
+
+
+@dataclass(frozen=True)
+class JoinRetry(Timeout):
+    """Internal join retry timeout."""
+
+
+@dataclass(frozen=True)
+class LookupRetry(Timeout):
+    """Internal lookup retransmission timeout."""
+
+    op_id: int = 0
+
+
+class CatsRing(ComponentDefinition):
+    """Provides Ring; requires Network, Timer and FailureDetector."""
+
+    def __init__(
+        self,
+        address: Address,
+        key_space: KeySpace,
+        successor_list_size: int = 4,
+        stabilize_period: float = 0.5,
+        join_timeout: float = 2.0,
+        lookup_timeout: float = 2.0,
+        lookup_attempts: int = 3,
+        finger_cache_size: int = 64,
+    ) -> None:
+        super().__init__()
+        if address.node_id is None:
+            raise ValueError("CatsRing requires an address with a node_id")
+        self.address = address
+        self.key_space = key_space
+        self.successor_list_size = successor_list_size
+        self.stabilize_period = stabilize_period
+        self.join_timeout = join_timeout
+        self.lookup_timeout = lookup_timeout
+        self.lookup_attempts = lookup_attempts
+        self.finger_cache_size = finger_cache_size
+
+        self.ring = self.provides(Ring)
+        self.network = self.requires(Network)
+        self.timer = self.requires(Timer)
+        self.fd = self.requires(FailureDetector)
+
+        self.joined = False
+        self.predecessor: Optional[Address] = None
+        self.successors: list[Address] = []
+        self._fingers: dict[int, Address] = {}
+        self._monitored: set[Address] = set()
+        self._seeds: tuple[Address, ...] = ()
+        self._seed_index = 0
+        self._join_attempts = 0
+        self._join_op: Optional[int] = None
+        self._pending_lookups: dict[int, tuple[int, int]] = {}  # op_id -> (key, attempts)
+        self._stabilizing = False
+        self.lookups_served = 0
+
+        self.subscribe(self.on_join, self.ring)
+        self.subscribe(self.on_lookup, self.ring)
+        self.subscribe(self.on_find_successor, self.network, event_type=FindSuccessor)
+        self.subscribe(self.on_found_successor, self.network, event_type=FoundSuccessor)
+        self.subscribe(self.on_get_neighbors, self.network, event_type=GetNeighbors)
+        self.subscribe(self.on_neighbors_reply, self.network, event_type=GetNeighborsReply)
+        self.subscribe(self.on_notify, self.network, event_type=Notify)
+        self.subscribe(self.on_stabilize_tick, self.timer)
+        self.subscribe(self.on_join_retry, self.timer)
+        self.subscribe(self.on_lookup_retry, self.timer)
+        self.subscribe(self.on_suspect, self.fd)
+        self.subscribe(self.on_restore, self.fd)
+
+    # ------------------------------------------------------------ ring tests
+
+    @property
+    def node_id(self) -> int:
+        return self.address.node_id  # type: ignore[return-value]
+
+    def owns(self, key: int) -> bool:
+        """Do I currently own ``key``? True iff key in (predecessor, me]."""
+        if not self.joined:
+            return False
+        if self.predecessor is None:
+            # Without a predecessor the only safe claim is a one-node ring.
+            return self._alone()
+        return self.key_space.in_interval(key, self.predecessor.node_id, self.node_id)
+
+    def _alone(self) -> bool:
+        return not self.successors or self.successors[0] == self.address
+
+    def successors_exclude_self(self) -> bool:
+        """True iff this node knows at least one successor other than itself."""
+        return any(s != self.address for s in self.successors)
+
+    # ----------------------------------------------------------------- join
+
+    @handles(RingJoin)
+    def on_join(self, request: RingJoin) -> None:
+        # A node that collapsed to a singleton ring (e.g. it falsely
+        # suspected everyone while partitioned) may re-join once it learns
+        # of peers again; an established multi-node member ignores joins.
+        if self.joined and not self._alone():
+            return
+        seeds = tuple(s for s in request.seeds if s != self.address)
+        if not seeds:
+            if self.joined:
+                return
+            # Create a fresh one-node ring responsible for everything.
+            self.predecessor = self.address
+            self.successors = [self.address]
+            self.joined = True
+            self._start_stabilizing()
+            self.trigger(RingReady(), self.ring)
+            self._emit_neighbors()
+            return
+        self._seeds = seeds
+        self._seed_index = 0
+        self._join_attempts = 0
+        self._send_join_lookup()
+
+    def _send_join_lookup(self) -> None:
+        self._join_attempts += 1
+        if self._join_attempts > max(3, 2 * len(self._seeds)):
+            # Give up on this seed set; a fresh RingJoin may retry later.
+            self._join_op = None
+            return
+        seed = self._seeds[self._seed_index % len(self._seeds)]
+        self._seed_index += 1
+        self._join_op = new_op_id()
+        self.trigger(
+            FindSuccessor(
+                self.address, seed, key=self.node_id, reply_to=self.address,
+                op_id=self._join_op,
+            ),
+            self.network,
+        )
+        self.trigger(
+            ScheduleTimeout(self.join_timeout, JoinRetry(new_timeout_id())), self.timer
+        )
+
+    @handles(JoinRetry)
+    def on_join_retry(self, _timeout: JoinRetry) -> None:
+        if self._join_op is not None and self._seeds and (
+            not self.joined or self._alone()
+        ):
+            self._send_join_lookup()
+
+    def _complete_join(self, found: FoundSuccessor) -> None:
+        successor = found.responsible
+        if successor == self.address:
+            self._join_op = None
+            return
+        self.successors = self._clean_successor_list(
+            [successor, *found.successors]
+        )
+        # The owner told us its predecessor: that is our predecessor-to-be.
+        if found.predecessor is not None and found.predecessor != self.address:
+            self.predecessor = found.predecessor
+        self.joined = True
+        self._join_op = None
+        self._start_stabilizing()
+        self.trigger(Notify(self.address, successor), self.network)
+        self.trigger(RingReady(), self.ring)
+        self._emit_neighbors()
+
+    # --------------------------------------------------------------- lookups
+
+    @handles(RingLookup)
+    def on_lookup(self, request: RingLookup) -> None:
+        op_id = request.op_id or new_op_id()
+        if self.owns(request.key):
+            self.trigger(
+                RingLookupResponse(request.key, self.address, op_id=op_id), self.ring
+            )
+            return
+        self._pending_lookups[op_id] = (request.key, 1)
+        self._send_lookup(op_id, request.key)
+
+    def _send_lookup(self, op_id: int, key: int) -> None:
+        self._forward(
+            FindSuccessor(
+                self.address, self.address, key=key,
+                reply_to=self.address, op_id=op_id,
+            )
+        )
+        self.trigger(
+            ScheduleTimeout(
+                self.lookup_timeout, LookupRetry(new_timeout_id(), op_id=op_id)
+            ),
+            self.timer,
+        )
+
+    @handles(LookupRetry)
+    def on_lookup_retry(self, timeout: LookupRetry) -> None:
+        pending = self._pending_lookups.get(timeout.op_id)
+        if pending is None:
+            return
+        key, attempts = pending
+        if attempts >= self.lookup_attempts:
+            # Give up silently: lookups are best-effort; callers that need
+            # liveness (the quorum layer) have their own retry loops.
+            del self._pending_lookups[timeout.op_id]
+            return
+        self._pending_lookups[timeout.op_id] = (key, attempts + 1)
+        self._send_lookup(timeout.op_id, key)
+
+    @handles(FindSuccessor)
+    def on_find_successor(self, message: FindSuccessor) -> None:
+        # Only learn *forwarders* (hops > 0): the origin of a lookup may be
+        # an unjoined node (a joiner locating its successor), and unjoined
+        # nodes must never enter routing state — they drop forwarded
+        # lookups, which would wedge every lookup routed through them.
+        if message.hops > 0:
+            self._learn(message.source)
+        if not self.joined or message.hops > MAX_LOOKUP_HOPS:
+            return  # the requester retries
+        if self.owns(message.key):
+            self.lookups_served += 1
+            self.trigger(
+                FoundSuccessor(
+                    self.address,
+                    message.reply_to,
+                    key=message.key,
+                    responsible=self.address,
+                    predecessor=self.predecessor,
+                    successors=tuple(self.successors),
+                    op_id=message.op_id,
+                    hops=message.hops,
+                ),
+                self.network,
+            )
+            return
+        self._forward(message)
+
+    def _forward(self, message: FindSuccessor) -> None:
+        target = self._closest_preceding(message.key)
+        if target is None or target == self.address:
+            return
+        self.trigger(
+            FindSuccessor(
+                self.address, target, key=message.key, reply_to=message.reply_to,
+                op_id=message.op_id, hops=message.hops + 1,
+            ),
+            self.network,
+        )
+
+    def _closest_preceding(self, key: int) -> Optional[Address]:
+        """The known node making the most clockwise progress toward ``key``.
+
+        Considers successors and the finger cache; never overshoots past the
+        key (Chord's correctness rule), falling back to the successor.
+        """
+        best: Optional[Address] = None
+        best_distance = None
+        for candidate in [*self.successors, *self._fingers.values()]:
+            if candidate == self.address or candidate.node_id is None:
+                continue
+            # candidate in the *open* interval (me, key): Chord's rule.  The
+            # node with id == key itself is deliberately excluded — routing
+            # reaches it through its predecessor's successor pointer, which
+            # only exists once it has actually joined.
+            if candidate.node_id == key or not self.key_space.in_interval(
+                candidate.node_id, self.node_id, key
+            ):
+                continue
+            distance = self.key_space.distance(candidate.node_id, key)
+            if best_distance is None or distance < best_distance:
+                best, best_distance = candidate, distance
+        if best is not None:
+            return best
+        return self.successors[0] if self.successors else None
+
+    @handles(FoundSuccessor)
+    def on_found_successor(self, message: FoundSuccessor) -> None:
+        self._learn(message.responsible)
+        for member in message.successors:
+            self._learn(member)
+        if message.op_id == self._join_op and (not self.joined or self._alone()):
+            self._complete_join(message)
+            return
+        pending = self._pending_lookups.pop(message.op_id, None)
+        if pending is not None:
+            key, _attempts = pending
+            self.trigger(
+                RingLookupResponse(
+                    key, message.responsible, op_id=message.op_id, hops=message.hops
+                ),
+                self.ring,
+            )
+
+    # ----------------------------------------------------------- stabilization
+
+    def _start_stabilizing(self) -> None:
+        if self._stabilizing:
+            return
+        self._stabilizing = True
+        self.trigger(
+            SchedulePeriodicTimeout(
+                self.stabilize_period, self.stabilize_period,
+                StabilizeTick(new_timeout_id()),
+            ),
+            self.timer,
+        )
+
+    @handles(StabilizeTick)
+    def on_stabilize_tick(self, _tick: StabilizeTick) -> None:
+        if not self.joined or self._alone():
+            return
+        self.trigger(GetNeighbors(self.address, self.successors[0]), self.network)
+
+    @handles(GetNeighbors)
+    def on_get_neighbors(self, message: GetNeighbors) -> None:
+        self._learn(message.source)
+        self.trigger(
+            GetNeighborsReply(
+                self.address,
+                message.source,
+                predecessor=self.predecessor,
+                successors=tuple(self.successors),
+            ),
+            self.network,
+        )
+
+    @handles(GetNeighborsReply)
+    def on_neighbors_reply(self, message: GetNeighborsReply) -> None:
+        if not self.joined or not self.successors or message.source != self.successors[0]:
+            return
+        successor = self.successors[0]
+        candidate = message.predecessor
+        new_head = successor
+        if (
+            candidate is not None
+            and candidate != self.address
+            and candidate != successor
+            and self.key_space.in_interval(
+                candidate.node_id, self.node_id, successor.node_id
+            )
+            and candidate.node_id != successor.node_id
+        ):
+            # A node slipped in between us and our successor: adopt it.
+            new_head = candidate
+        new_list = self._clean_successor_list([new_head, *message.successors])
+        if new_list != self.successors:
+            self.successors = new_list
+            self._emit_neighbors()
+        self.trigger(Notify(self.address, self.successors[0]), self.network)
+
+    @handles(Notify)
+    def on_notify(self, message: Notify) -> None:
+        self._learn(message.source)
+        candidate = message.source
+        if candidate == self.address:
+            return
+        if (
+            self.predecessor is None
+            or self.predecessor == self.address
+            or (
+                self.key_space.in_interval(
+                    candidate.node_id, self.predecessor.node_id, self.node_id
+                )
+                and candidate.node_id != self.node_id
+            )
+        ):
+            if self.predecessor != candidate:
+                self.predecessor = candidate
+                # A lone node adopts the notifier as successor too.
+                if self._alone():
+                    self.successors = self._clean_successor_list([candidate])
+                self._emit_neighbors()
+
+    # --------------------------------------------------------------- failures
+
+    @handles(Suspect)
+    def on_suspect(self, event: Suspect) -> None:
+        node = event.node
+        changed = False
+        if node in self.successors:
+            self.successors = [s for s in self.successors if s != node]
+            if not self.successors:
+                # Every known successor died: collapse to a one-node ring.
+                self.successors = [self.address]
+                self.predecessor = self.address
+            changed = True
+        if node == self.predecessor:
+            self.predecessor = None
+            changed = True
+        self._fingers.pop(node.node_id, None)
+        if changed:
+            self._emit_neighbors()
+
+    @handles(Restore)
+    def on_restore(self, event: Restore) -> None:
+        self._learn(event.node)
+
+    # ---------------------------------------------------------------- helpers
+
+    def _clean_successor_list(self, candidates: list[Address]) -> list[Address]:
+        cleaned: list[Address] = []
+        for candidate in candidates:
+            if candidate is None or candidate == self.address:
+                continue
+            if candidate not in cleaned:
+                cleaned.append(candidate)
+            if len(cleaned) == self.successor_list_size:
+                break
+        return cleaned or [self.address]
+
+    def _learn(self, node: Optional[Address]) -> None:
+        if node is None or node == self.address or node.node_id is None:
+            return
+        if self.finger_cache_size <= 0:
+            return
+        if (
+            self._fingers
+            and len(self._fingers) >= self.finger_cache_size
+            and node.node_id not in self._fingers
+        ):
+            # Evict an arbitrary-but-deterministic entry.
+            self._fingers.pop(next(iter(self._fingers)))
+        self._fingers[node.node_id] = node
+
+    def _emit_neighbors(self) -> None:
+        self._update_monitoring()
+        self.trigger(
+            RingNeighbors(
+                predecessor=self.predecessor,
+                successors=tuple(s for s in self.successors if s != self.address),
+            ),
+            self.ring,
+        )
+
+    def _update_monitoring(self) -> None:
+        wanted = {s for s in self.successors if s != self.address}
+        if self.predecessor is not None and self.predecessor != self.address:
+            wanted.add(self.predecessor)
+        for node in wanted - self._monitored:
+            self.trigger(MonitorNode(node), self.fd)
+        for node in self._monitored - wanted:
+            self.trigger(StopMonitoringNode(node), self.fd)
+        self._monitored = wanted
+
+    # ------------------------------------------------------------- inspection
+
+    def status(self) -> dict:
+        return {
+            "joined": self.joined,
+            "predecessor": str(self.predecessor) if self.predecessor else None,
+            "successors": [str(s) for s in self.successors],
+            "fingers": len(self._fingers),
+            "lookups_served": self.lookups_served,
+        }

@@ -1,0 +1,103 @@
+"""CatsWebApplication (paper Fig 11): the per-node web status surface.
+
+Renders a node's component statuses as HTML (with hyperlinks to the ring
+neighbors, as the paper describes: "browse the set of nodes over the web,
+and inspect the state of each remote node") or JSON, serving WebRequests
+arriving on its provided Web port — typically bridged from HTTP by
+:class:`repro.protocols.web.WebServer`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from ..network.address import Address
+from ..protocols.monitor.port import (
+    Status,
+    StatusRequest,
+    StatusResponse,
+    StatusSnapshotEnd,
+)
+from ..protocols.web.port import Web, WebRequest, WebResponse
+
+
+class CatsWebApplication(ComponentDefinition):
+    """Provides Web; requires Status (fed by the node's status provider)."""
+
+    def __init__(self, address: Address, web_port_hint: int = 0) -> None:
+        super().__init__()
+        self.address = address
+        self.web_port_hint = web_port_hint
+        self.web = self.provides(Web)
+        self.status = self.requires(Status)
+        self._collected: dict[str, dict] = {}
+        self._waiting: list[WebRequest] = []
+
+        self.subscribe(self.on_web_request, self.web)
+        self.subscribe(self.on_status, self.status)
+        self.subscribe(self.on_snapshot_end, self.status)
+
+    @handles(WebRequest)
+    def on_web_request(self, request: WebRequest) -> None:
+        self._waiting.append(request)
+        if len(self._waiting) == 1:
+            self._collected.clear()
+            self.trigger(StatusRequest(), self.status)
+
+    @handles(StatusResponse)
+    def on_status(self, response: StatusResponse) -> None:
+        self._collected[response.component] = dict(response.data)
+
+    @handles(StatusSnapshotEnd)
+    def on_snapshot_end(self, _end: StatusSnapshotEnd) -> None:
+        waiting, self._waiting = self._waiting, []
+        for request in waiting:
+            self.trigger(self._render(request), self.web)
+
+    # -------------------------------------------------------------- rendering
+
+    def _render(self, request: WebRequest) -> WebResponse:
+        if request.path.endswith(".json"):
+            return WebResponse(
+                request_id=request.request_id,
+                content_type="application/json",
+                body=json.dumps(self._collected, indent=2, sort_keys=True, default=str),
+            )
+        return WebResponse(
+            request_id=request.request_id,
+            content_type="text/html",
+            body=self._render_html(),
+        )
+
+    def _neighbor_links(self) -> str:
+        ring = next(
+            (data for name, data in self._collected.items() if name.startswith("ring")),
+            {},
+        )
+        links = []
+        predecessor = ring.get("predecessor")
+        if predecessor:
+            links.append(f'<a href="http://{predecessor}/">pred {predecessor}</a>')
+        for successor in ring.get("successors", []):
+            links.append(f'<a href="http://{successor}/">succ {successor}</a>')
+        return " | ".join(links) if links else "(no neighbors)"
+
+    def _render_html(self) -> str:
+        sections = []
+        for name, data in sorted(self._collected.items()):
+            rows = "".join(
+                f"<tr><td>{key}</td><td>{value}</td></tr>"
+                for key, value in sorted(data.items(), key=lambda kv: kv[0])
+            )
+            sections.append(
+                f"<h2>{name}</h2><table border=1>{rows}</table>"
+            )
+        return (
+            f"<html><head><title>CATS node {self.address}</title></head><body>"
+            f"<h1>CATS node {self.address}</h1>"
+            f"<p>neighbors: {self._neighbor_links()}</p>"
+            + "".join(sections)
+            + "</body></html>"
+        )

@@ -1,0 +1,54 @@
+"""Workload generation for CATS benchmarks (read-intensive mixes, 1 KB values)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A key-value workload: key range, read ratio, value size, skew."""
+
+    key_count: int = 1024
+    read_ratio: float = 0.9
+    value_size: int = 1024
+    zipf_s: float = 0.0  # 0: uniform keys; >0: zipf-skewed popularity
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    kind: str  # "get" | "put"
+    key: int
+    value: object = None
+
+
+class WorkloadGenerator:
+    """Deterministic stream of get/put operations."""
+
+    def __init__(self, spec: WorkloadSpec, key_space_bits: int, seed: int = 0) -> None:
+        self.spec = spec
+        self.rng = random.Random(seed)
+        size = 1 << key_space_bits
+        stride = max(1, size // spec.key_count)
+        self.keys = [i * stride for i in range(spec.key_count)]
+        self._value = "x" * spec.value_size
+        self._weights = None
+        if spec.zipf_s > 0:
+            self._weights = [1.0 / (rank + 1) ** spec.zipf_s for rank in range(spec.key_count)]
+
+    def pick_key(self) -> int:
+        if self._weights is None:
+            return self.rng.choice(self.keys)
+        return self.rng.choices(self.keys, weights=self._weights, k=1)[0]
+
+    def next_op(self) -> WorkloadOp:
+        key = self.pick_key()
+        if self.rng.random() < self.spec.read_ratio:
+            return WorkloadOp("get", key)
+        return WorkloadOp("put", key, self._value)
+
+    def ops(self, count: int) -> Iterator[WorkloadOp]:
+        for _ in range(count):
+            yield self.next_op()

@@ -1,0 +1,13 @@
+"""Linearizability checking for register histories (validates CATS' claim)."""
+
+from .checker import CheckResult, check_history, check_register
+from .history import History, NOT_FOUND, Operation
+
+__all__ = [
+    "CheckResult",
+    "History",
+    "NOT_FOUND",
+    "Operation",
+    "check_history",
+    "check_register",
+]

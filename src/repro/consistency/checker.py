@@ -1,0 +1,105 @@
+"""A Wing-Gong / WGL linearizability checker for register histories.
+
+Searches for a legal sequential order of the recorded operations that
+respects real time: an operation may only be linearized before another if
+it did not strictly follow it.  Register semantics: a get must return the
+value of the latest linearized put (or NOT_FOUND if none).
+
+Pending operations (no response) are handled soundly: a pending *get*
+constrains nothing and is dropped; a pending *put* may have taken effect at
+any point after its invocation or never — the search explores both.
+
+Complexity is exponential in the worst case (the problem is NP-complete)
+but the candidate rule plus memoization on (remaining-set, register state)
+handles the few-hundred-ops-per-key histories our simulations produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .history import History, NOT_FOUND, Operation
+
+
+@dataclass
+class CheckResult:
+    linearizable: bool
+    key: Optional[int] = None
+    witness: Optional[tuple[int, ...]] = None  # op ids in linearized order
+    reason: str = ""
+
+
+def check_history(history: History) -> CheckResult:
+    """Check every key's sub-history; registers are independent."""
+    for key, operations in history.per_key().items():
+        result = check_register(operations)
+        if not result.linearizable:
+            return CheckResult(False, key=key, reason=result.reason)
+    return CheckResult(True)
+
+
+def check_register(operations: Sequence[Operation]) -> CheckResult:
+    """Check one register's history for linearizability."""
+    # Pending gets constrain nothing.
+    ops = [
+        op
+        for op in operations
+        if op.complete or op.kind == "put"
+    ]
+    if not ops:
+        return CheckResult(True)
+
+    ops = sorted(ops, key=lambda op: (op.invoke_time, op.response_time))
+    index_of = {op.op_id: i for i, op in enumerate(ops)}
+    n = len(ops)
+    all_mask = (1 << n) - 1
+
+    # Register states are identified by the op id of the last applied put
+    # (None = initial NOT_FOUND state).
+    seen: set[tuple[int, object]] = set()
+    witness: list[int] = []
+
+    def candidates(mask: int) -> list[int]:
+        remaining = [i for i in range(n) if mask & (1 << i)]
+        min_response = min(ops[i].response_time for i in remaining)
+        return [i for i in remaining if ops[i].invoke_time <= min_response]
+
+    def search(mask: int, state: object) -> bool:
+        if mask == 0:
+            return True
+        key = (mask, state)
+        if key in seen:
+            return False
+        seen.add(key)
+        for i in candidates(mask):
+            op = ops[i]
+            next_mask = mask & ~(1 << i)
+            if op.kind == "put":
+                witness.append(op.op_id)
+                if search(next_mask, op.op_id):
+                    return True
+                witness.pop()
+                # A pending put may also never take effect at all.
+                if not op.complete:
+                    if search(next_mask, state):
+                        return True
+            else:  # get
+                expected = NOT_FOUND if state is None else ops[index_of[state]].value
+                if expected is NOT_FOUND:
+                    matches = op.result is NOT_FOUND
+                else:
+                    matches = op.result is not NOT_FOUND and op.result == expected
+                if matches:
+                    witness.append(op.op_id)
+                    if search(next_mask, state):
+                        return True
+                    witness.pop()
+        return False
+
+    if search(all_mask, None):
+        return CheckResult(True, witness=tuple(witness))
+    return CheckResult(
+        False,
+        reason=f"no linearization for {n} operations on key {ops[0].key}",
+    )

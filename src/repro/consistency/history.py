@@ -1,0 +1,81 @@
+"""Operation histories for consistency checking.
+
+Records invocation/response pairs of register operations, per key, in the
+form the WGL linearizability checker consumes.  Operations that never got a
+response (crashed coordinator, experiment ended) stay *pending*: a pending
+put may or may not have taken effect and the checker must consider both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+NOT_FOUND = object()
+
+
+@dataclass
+class Operation:
+    """One register operation with its real-time interval."""
+
+    op_id: int
+    process: object
+    kind: str  # "put" | "get"
+    key: int
+    value: object = None  # put argument
+    result: object = None  # get result (NOT_FOUND if absent)
+    invoke_time: float = 0.0
+    response_time: float = math.inf
+
+    @property
+    def complete(self) -> bool:
+        return self.response_time != math.inf
+
+
+class History:
+    """An append-only record of invocations and responses."""
+
+    def __init__(self) -> None:
+        self._operations: dict[int, Operation] = {}
+
+    def invoke(
+        self,
+        op_id: int,
+        process: object,
+        kind: str,
+        key: int,
+        value: object = None,
+        time: float = 0.0,
+    ) -> None:
+        self._operations[op_id] = Operation(
+            op_id=op_id, process=process, kind=kind, key=key, value=value,
+            invoke_time=time,
+        )
+
+    def respond(self, op_id: int, time: float, result: object = None) -> None:
+        operation = self._operations.get(op_id)
+        if operation is None:
+            raise KeyError(f"response for unknown op {op_id}")
+        operation.response_time = time
+        operation.result = result
+
+    def discard(self, op_id: int) -> None:
+        """Remove an operation entirely (e.g. an explicitly failed op that
+        is known not to have taken effect is *not* removable — use this only
+        for ops the experiment cancelled before issuing)."""
+        self._operations.pop(op_id, None)
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        return tuple(self._operations.values())
+
+    def per_key(self) -> dict[int, list[Operation]]:
+        keyed: dict[int, list[Operation]] = {}
+        for operation in self._operations.values():
+            keyed.setdefault(operation.key, []).append(operation)
+        for operations in keyed.values():
+            operations.sort(key=lambda op: op.invoke_time)
+        return keyed
+
+    def __len__(self) -> int:
+        return len(self._operations)

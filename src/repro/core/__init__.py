@@ -1,0 +1,59 @@
+"""The Kompics component model: events, ports, components, channels.
+
+This package implements the paper's section 2 in full: typed events and
+ports, hierarchical components with provided/required ports, publish-
+subscribe event dissemination over FIFO channels, component life-cycle and
+the Init-first guarantee, Erlang-style fault escalation, and the four
+channel commands (hold/resume/plug/unplug) enabling dynamic reconfiguration.
+"""
+
+from .channel import Channel, connect, disconnect
+from .component import Component, ComponentCore, ComponentDefinition
+from .dispatch import trigger
+from .errors import (
+    ConfigurationError,
+    ConnectionError,
+    KompicsError,
+    LifecycleError,
+    PortTypeError,
+    SimulationError,
+    SubscriptionError,
+)
+from .event import Direction, Event, NEGATIVE, POSITIVE
+from .fault import Fault
+from .handler import handles
+from .lifecycle import ControlPort, Init, LifecycleState, Start, Stop
+from .port import Port, PortFace, PortType
+from .reconfig import replace_component
+
+__all__ = [
+    "Channel",
+    "Component",
+    "ComponentCore",
+    "ComponentDefinition",
+    "ConfigurationError",
+    "ConnectionError",
+    "ControlPort",
+    "Direction",
+    "Event",
+    "Fault",
+    "Init",
+    "KompicsError",
+    "LifecycleError",
+    "LifecycleState",
+    "NEGATIVE",
+    "POSITIVE",
+    "Port",
+    "PortFace",
+    "PortType",
+    "PortTypeError",
+    "SimulationError",
+    "Start",
+    "Stop",
+    "SubscriptionError",
+    "connect",
+    "disconnect",
+    "handles",
+    "replace_component",
+    "trigger",
+]

@@ -1,0 +1,209 @@
+"""Channels: first-class bindings between complementary port faces.
+
+Channels forward events in both directions in FIFO order (paper section
+2.1) and support the four reconfiguration commands of section 2.6:
+
+``hold()``
+    stop forwarding; queue events in both directions.
+``resume()``
+    first flush all queued events in arrival order, then forward as usual.
+``unplug(face)``
+    detach one end; events flowing toward the missing end are queued so no
+    triggered event is ever dropped during reconfiguration.
+``plug(face)``
+    re-attach the unplugged end to a (possibly different) compatible face.
+
+A channel may carry a *selector*: a predicate over events that must hold for
+the event to be forwarded (used e.g. to route per-destination traffic when
+several components share a provider).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+from . import dispatch
+from .errors import ConnectionError as KConnectionError
+from .event import Direction, Event
+from .port import PortFace, check_faces_connectable
+
+Selector = Callable[[Event], bool]
+
+
+class Channel:
+    """A FIFO, bidirectional, reconfigurable link between two port faces."""
+
+    def __init__(
+        self,
+        face_a: PortFace,
+        face_b: PortFace,
+        selector: Optional[Selector] = None,
+        prune: bool = True,
+    ) -> None:
+        provider, requirer = check_faces_connectable(face_a, face_b)
+        self.port_type = provider.port_type
+        self.positive_end: Optional[PortFace] = provider  # emits POSITIVE into channel
+        self.negative_end: Optional[PortFace] = requirer  # emits NEGATIVE into channel
+        self.selector = selector
+        self.prune = prune
+        self.held = False
+        self.destroyed = False
+        self._queue: deque[tuple[Event, Direction]] = deque()
+        self._lock = threading.RLock()
+        self._prune_cache: dict[tuple[type[Event], Direction], tuple[int, bool]] = {}
+        provider.channels.append(self)
+        requirer.channels.append(self)
+        _bump_generation(provider)
+
+    # ------------------------------------------------------------------ ends
+
+    def other_end(self, face: PortFace) -> Optional[PortFace]:
+        """The face at the opposite end of ``face`` (None while unplugged)."""
+        if face is self.positive_end:
+            return self.negative_end
+        if face is self.negative_end:
+            return self.positive_end
+        raise KConnectionError(f"{face!r} is not an end of this channel")
+
+    def connects(self, a: PortFace, b: PortFace) -> bool:
+        return {id(self.positive_end), id(self.negative_end)} == {id(a), id(b)}
+
+    # ------------------------------------------------------------- forwarding
+
+    def forward(self, event: Event, direction: Direction, source: PortFace) -> None:
+        """Forward an event arriving from ``source`` toward the other end."""
+        if self.destroyed:
+            return
+        if self.selector is not None and not self.selector(event):
+            return
+        with self._lock:
+            destination = self.other_end(source)
+            if self.held or destination is None:
+                self._queue.append((event, direction))
+                return
+        if self.prune and not self._reachable(destination, type(event), direction):
+            return
+        dispatch.arrive(destination, event, direction)
+
+    def _reachable(
+        self, destination: PortFace, event_type: type[Event], direction: Direction
+    ) -> bool:
+        system = destination.owner.system
+        if system is None or not system.prune_channels:
+            return True
+        generation = system.generation
+        cached = self._prune_cache.get((event_type, direction))
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        result = dispatch.leads_to_subscriber(destination, event_type, direction)
+        self._prune_cache[(event_type, direction)] = (generation, result)
+        return result
+
+    # --------------------------------------------------------- reconfiguration
+
+    def hold(self) -> None:
+        """Stop forwarding and start queueing events in both directions."""
+        with self._lock:
+            self.held = True
+
+    def resume(self) -> None:
+        """Flush queued events in order, then resume normal forwarding."""
+        while True:
+            with self._lock:
+                if not self._queue:
+                    self.held = False
+                    return
+                event, direction = self._queue.popleft()
+                # Flushed events go toward whichever end can now receive
+                # them; direction identifies the destination role.
+                destination = (
+                    self.negative_end
+                    if direction is Direction.POSITIVE
+                    else self.positive_end
+                )
+            if destination is None:
+                # Still unplugged on that side: put it back and stay held.
+                with self._lock:
+                    self._queue.appendleft((event, direction))
+                    return
+            dispatch.arrive(destination, event, direction)
+
+    def unplug(self, face: PortFace) -> None:
+        """Detach ``face`` from this channel; traffic toward it is queued."""
+        with self._lock:
+            if face is self.positive_end:
+                self.positive_end = None
+            elif face is self.negative_end:
+                self.negative_end = None
+            else:
+                raise KConnectionError(f"{face!r} is not an end of this channel")
+            if self in face.channels:
+                face.channels.remove(self)
+        _bump_generation(face)
+
+    def plug(self, face: PortFace) -> None:
+        """Attach the unplugged end of the channel to ``face``."""
+        with self._lock:
+            if face.port_type is not self.port_type:
+                raise KConnectionError(
+                    f"cannot plug {face!r} into a {self.port_type.__name__} channel"
+                )
+            role = face.emits
+            if role is Direction.POSITIVE:
+                if self.positive_end is not None:
+                    raise KConnectionError("positive end of channel is already plugged")
+                self.positive_end = face
+            else:
+                if self.negative_end is not None:
+                    raise KConnectionError("negative end of channel is already plugged")
+                self.negative_end = face
+            face.channels.append(self)
+        _bump_generation(face)
+
+    def destroy(self) -> None:
+        """Disconnect both ends and drop the channel (and any queued events)."""
+        with self._lock:
+            self.destroyed = True
+            for end in (self.positive_end, self.negative_end):
+                if end is not None and self in end.channels:
+                    end.channels.remove(self)
+                    _bump_generation(end)
+            self.positive_end = None
+            self.negative_end = None
+            self._queue.clear()
+
+    @property
+    def queued(self) -> int:
+        """Number of events currently queued (held or unplugged)."""
+        with self._lock:
+            return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "held" if self.held else ("destroyed" if self.destroyed else "live")
+        return f"<Channel {self.port_type.__name__} {state} queued={len(self._queue)}>"
+
+
+def connect(
+    face_a: PortFace,
+    face_b: PortFace,
+    selector: Optional[Selector] = None,
+) -> Channel:
+    """Connect two complementary port faces with a new channel."""
+    return Channel(face_a, face_b, selector=selector)
+
+
+def disconnect(face_a: PortFace, face_b: PortFace) -> None:
+    """Destroy the channel connecting ``face_a`` and ``face_b``."""
+    for channel in tuple(face_a.channels):
+        if channel.connects(face_a, face_b):
+            channel.destroy()
+            return
+    raise KConnectionError(f"no channel connects {face_a!r} and {face_b!r}")
+
+
+def _bump_generation(face: PortFace) -> None:
+    system = face.owner.system
+    if system is not None:
+        system.bump_generation()

@@ -1,0 +1,550 @@
+"""Components: reactive, concurrently executing state machines (paper §2.1).
+
+Two classes cooperate:
+
+:class:`ComponentDefinition`
+    the user-facing base class.  Its constructor body declares ports
+    (``provides``/``requires``), subscribes handlers, creates subcomponents
+    and connects channels — exactly the paper's programming constructs.
+
+:class:`ComponentCore`
+    the runtime half: the FIFO work queue, the idle/ready/busy execution
+    state driving the scheduler, life-cycle state, fault wrapping, and the
+    containment hierarchy.
+
+Handlers of one component instance are mutually exclusive: the scheduler
+never executes a component on two workers at once, so handler code needs no
+locks to protect component-local state.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Optional, TypeVar
+
+from . import channel as channel_mod
+from . import dispatch
+from .errors import ConfigurationError, LifecycleError
+from .event import Event
+from .fault import Fault, escalate
+from .handler import HandlerFn, Subscription, make_subscription
+from .lifecycle import ControlPort, Init, LifecycleState, Start, Stop
+from .port import Port, PortFace, PortType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.system import ComponentSystem
+    from .channel import Channel
+
+
+# Stack of cores under construction; create() nests, so this is a stack.
+_construction = threading.local()
+
+
+def _construction_stack() -> list["ComponentCore"]:
+    stack = getattr(_construction, "stack", None)
+    if stack is None:
+        stack = []
+        _construction.stack = stack
+    return stack
+
+
+def _noop_handler(_event: Event) -> None:
+    """Built-in no-op target for life-cycle events."""
+
+
+class WorkItem:
+    """One delivered event awaiting execution.
+
+    ``face`` identifies where the event arrived; handlers are re-matched
+    against the face's subscriptions at execution time (Kompics port-queue
+    semantics).  Items with ``face=None`` carry pre-bound handlers (used for
+    fault escalation, which bypasses ports).
+    """
+
+    __slots__ = ("event", "face", "handlers", "is_control")
+
+    def __init__(
+        self,
+        event: Event,
+        face: Optional[PortFace],
+        handlers: tuple[HandlerFn, ...],
+        is_control: bool,
+    ):
+        self.event = event
+        self.face = face
+        self.handlers = handlers
+        self.is_control = is_control
+
+
+class ExecutionState:
+    """Scheduler-facing execution states (paper section 3)."""
+
+    IDLE = 0
+    READY = 1
+    BUSY = 2
+
+
+class ComponentDefinition:
+    """Base class for component behaviours.
+
+    Subclasses declare ports, state and handlers in ``__init__`` (after
+    calling ``super().__init__()``) and react to events in ``@handles``
+    methods.  All the Kompics operations (trigger, create, destroy, connect,
+    disconnect, subscribe, unsubscribe) are methods on this class.
+    """
+
+    def __init__(self) -> None:
+        stack = _construction_stack()
+        if not stack:
+            raise ConfigurationError(
+                f"{type(self).__name__} must be created through create() or "
+                f"ComponentSystem.bootstrap(), not instantiated directly"
+            )
+        self._core: ComponentCore = stack[-1]
+        self.log = logging.getLogger(f"repro.{type(self).__name__}")
+
+    # ----------------------------------------------------------- introspection
+
+    @property
+    def core(self) -> "ComponentCore":
+        return self._core
+
+    @property
+    def system(self) -> "ComponentSystem":
+        return self._core.system
+
+    @property
+    def control(self) -> PortFace:
+        """Inside face of this component's control port (for Init/Start/Stop
+        subscriptions)."""
+        return self._core.control_port.inside
+
+    def now(self) -> float:
+        """Current time in seconds from the runtime clock.
+
+        Components must use this (never ``time.time()``) so the same code
+        runs under both the production clock and simulated time — the
+        decoupling the paper achieves via bytecode instrumentation.
+        """
+        return self._core.system.clock.now()
+
+    def random(self):
+        """The system's seeded random source (deterministic in simulation)."""
+        return self._core.system.random
+
+    # ------------------------------------------------------------------ ports
+
+    def provides(self, port_type: type[PortType]) -> PortFace:
+        """Declare a provided port; returns its inside face."""
+        return self._core.add_port(port_type, provided=True).inside
+
+    def requires(self, port_type: type[PortType]) -> PortFace:
+        """Declare a required port; returns its inside face."""
+        return self._core.add_port(port_type, provided=False).inside
+
+    # ------------------------------------------------------------- operations
+
+    def subscribe(
+        self,
+        handler: HandlerFn,
+        face: PortFace,
+        event_type: Optional[type[Event]] = None,
+    ) -> None:
+        """Subscribe a handler to a port face (own port or a child's)."""
+        subscription = make_subscription(handler, face, self._core, event_type)
+        face.subscriptions.append(subscription)
+        self._core.note_init_subscription(subscription, face)
+        self.system.bump_generation()
+
+    def unsubscribe(self, handler: HandlerFn, face: PortFace) -> None:
+        """Remove this component's subscription of ``handler`` from ``face``."""
+        for subscription in face.subscriptions:
+            if subscription.handler == handler and subscription.owner is self._core:
+                face.subscriptions.remove(subscription)
+                self.system.bump_generation()
+                return
+        raise ConfigurationError(f"{handler!r} is not subscribed at {face!r}")
+
+    def trigger(self, event: Event, face: PortFace) -> None:
+        """Asynchronously send an event through a port face."""
+        dispatch.trigger(event, face)
+
+    def create(
+        self,
+        definition: type["DefinitionT"],
+        *args: object,
+        init: Optional[Init] = None,
+        name: Optional[str] = None,
+        **kwargs: object,
+    ) -> "Component":
+        """Create a subcomponent (passive until started)."""
+        core = ComponentCore(
+            self.system, definition, args, kwargs, parent=self._core, name=name
+        )
+        self._core.children.append(core)
+        self.system.bump_generation()
+        if init is not None:
+            dispatch.trigger(init, core.control_port.outside)
+        return core.component
+
+    def destroy(self, component: "Component") -> None:
+        """Destroy a subcomponent, its subtree, and its channels."""
+        component.core.destroy()
+
+    def start_child(self, component: "Component") -> None:
+        """Trigger Start on a child's control port."""
+        dispatch.trigger(Start(), component.core.control_port.outside)
+
+    def stop_child(self, component: "Component") -> None:
+        """Trigger Stop on a child's control port."""
+        dispatch.trigger(Stop(), component.core.control_port.outside)
+
+    def connect(
+        self,
+        face_a: PortFace,
+        face_b: PortFace,
+        selector: Optional[channel_mod.Selector] = None,
+    ) -> "Channel":
+        """Connect two complementary port faces with a new channel."""
+        return channel_mod.connect(face_a, face_b, selector=selector)
+
+    def disconnect(self, face_a: PortFace, face_b: PortFace) -> None:
+        """Destroy the channel between two faces."""
+        channel_mod.disconnect(face_a, face_b)
+
+    # ----------------------------------------------------------------- hooks
+
+    def tear_down(self) -> None:
+        """Called when the component is destroyed; override to release
+        external resources (threads, sockets)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} ({self._core.name})>"
+
+
+DefinitionT = TypeVar("DefinitionT", bound=ComponentDefinition)
+
+
+class Component:
+    """Parent-facing facade of a component (what ``create`` returns)."""
+
+    __slots__ = ("core",)
+
+    def __init__(self, core: "ComponentCore") -> None:
+        self.core = core
+
+    def provided(self, port_type: type[PortType]) -> PortFace:
+        """Outside face of the component's provided port of ``port_type``."""
+        return self.core.port(port_type, provided=True).outside
+
+    def required(self, port_type: type[PortType]) -> PortFace:
+        """Outside face of the component's required port of ``port_type``."""
+        return self.core.port(port_type, provided=False).outside
+
+    def control(self) -> PortFace:
+        """Outside face of the component's control port."""
+        return self.core.control_port.outside
+
+    @property
+    def definition(self) -> ComponentDefinition:
+        return self.core.definition
+
+    @property
+    def state(self) -> LifecycleState:
+        return self.core.state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Component {self.core.name} {self.core.state.value}>"
+
+
+class ComponentCore:
+    """Runtime state of one component instance."""
+
+    def __init__(
+        self,
+        system: "ComponentSystem",
+        definition_cls: type[ComponentDefinition],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        parent: Optional["ComponentCore"] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.id = system.next_component_id()
+        self.system = system
+        self.parent = parent
+        self.name = name or f"{definition_cls.__name__}-{self.id}"
+        self.children: list[ComponentCore] = []
+        self.ports: dict[tuple[type[PortType], bool], Port] = {}
+        self.control_port = Port(ControlPort, self, is_provided=True, is_control=True)
+        # Built-in life-cycle subscriptions: Start/Stop/Init must be
+        # processed even when the definition subscribes no handler for them.
+        # These bypass note_init_subscription so they do not trip the
+        # Init-first guarantee.
+        for lifecycle_type in (Init, Start, Stop):
+            self.control_port.inside.subscriptions.append(
+                Subscription(_noop_handler, lifecycle_type, self.control_port.inside, self)
+            )
+
+        self.state = LifecycleState.PASSIVE
+        self._exec_state = ExecutionState.IDLE
+        self._queue: deque[WorkItem] = deque()
+        self._buffer: deque[WorkItem] = deque()
+        self._lock = threading.Lock()
+        self._needs_init = False
+        self._init_received = False
+        self.component = Component(self)
+
+        stack = _construction_stack()
+        stack.append(self)
+        try:
+            self.definition = definition_cls(*args, **(kwargs or {}))
+        finally:
+            stack.pop()
+        system.register_component(self)
+
+    # ------------------------------------------------------------------ ports
+
+    def add_port(self, port_type: type[PortType], provided: bool) -> Port:
+        key = (port_type, provided)
+        if key in self.ports:
+            raise ConfigurationError(
+                f"{self.name} already declares a "
+                f"{'provided' if provided else 'required'} {port_type.__name__} port"
+            )
+        port = Port(port_type, self, is_provided=provided)
+        self.ports[key] = port
+        return port
+
+    def port(self, port_type: type[PortType], provided: bool) -> Port:
+        try:
+            return self.ports[(port_type, provided)]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no "
+                f"{'provided' if provided else 'required'} {port_type.__name__} port"
+            ) from None
+
+    def note_init_subscription(self, subscription, face: PortFace) -> None:
+        """Track whether an Init handler exists, for the Init-first guarantee."""
+        if (
+            face.port is self.control_port
+            and face.is_inside
+            and issubclass(subscription.event_type, Init)
+        ):
+            self._needs_init = True
+
+    # --------------------------------------------------------------- delivery
+
+    def receive_event(self, event: Event, face: PortFace) -> None:
+        """Enqueue an event delivered at ``face`` (called by dispatch)."""
+        self._enqueue(WorkItem(event, face, (), face.port.is_control))
+
+    def receive_work(
+        self, event: Event, handlers: tuple[HandlerFn, ...], is_control: bool
+    ) -> None:
+        """Enqueue an event with pre-bound handlers (fault escalation path)."""
+        self._enqueue(WorkItem(event, None, handlers, is_control))
+
+    def _enqueue(self, item: WorkItem) -> None:
+        must_schedule = False
+        with self._lock:
+            if self.state is LifecycleState.DESTROYED:
+                return
+            if not self._admissible(item):
+                self._buffer.append(item)
+                return
+            self._queue.append(item)
+            if self._exec_state == ExecutionState.IDLE:
+                self._exec_state = ExecutionState.READY
+                must_schedule = True
+        if must_schedule:
+            self.system.component_ready(self)
+
+    def _admissible(self, item: WorkItem) -> bool:
+        """May this work item enter the executable queue right now?"""
+        if self._needs_init and not self._init_received:
+            return isinstance(item.event, Init)
+        if self.state is LifecycleState.PASSIVE:
+            return item.is_control
+        if self.state is LifecycleState.FAULTY:
+            return False
+        return True
+
+    def _flush_buffer_locked(self) -> None:
+        """Re-offer buffered items after a state change (lock held)."""
+        pending = list(self._buffer)
+        self._buffer.clear()
+        for item in pending:
+            if self._admissible(item):
+                self._queue.append(item)
+            else:
+                self._buffer.append(item)
+
+    # -------------------------------------------------------------- execution
+
+    def execute(self, max_events: int = 1) -> bool:
+        """Execute up to ``max_events`` queued events.
+
+        Returns True if the component is still READY (the caller must
+        requeue it), False if it went idle.  Called only by schedulers; the
+        BUSY state guarantees handler mutual exclusion.
+        """
+        with self._lock:
+            if self._exec_state != ExecutionState.READY:
+                return False
+            self._exec_state = ExecutionState.BUSY
+
+        executed = 0
+        stopped_states = (LifecycleState.DESTROYED, LifecycleState.FAULTY)
+        while executed < max_events:
+            with self._lock:
+                if self.state in stopped_states or not self._queue:
+                    break
+                item = self._queue.popleft()
+            self._execute_item(item)
+            executed += 1
+
+        with self._lock:
+            if self.state in stopped_states or not self._queue:
+                self._exec_state = ExecutionState.IDLE
+                still_ready = False
+            else:
+                self._exec_state = ExecutionState.READY
+                still_ready = True
+        if not still_ready:
+            self.system.component_idle(self)
+        return still_ready
+
+    def _execute_item(self, item: WorkItem) -> None:
+        event = item.event
+        tracer = self.system.tracer
+        if tracer is not None:
+            tracer.record(
+                self.system.clock.now(), self.name, type(event).__name__
+            )
+        if isinstance(event, Init):
+            self._handle_init(item)
+        elif isinstance(event, Start):
+            self._handle_start(item)
+        elif isinstance(event, Stop):
+            self._handle_stop(item)
+        else:
+            self._run_handlers(item)
+
+    def _match_handlers(self, item: WorkItem) -> tuple[HandlerFn, ...]:
+        if item.face is None:
+            return item.handlers
+        event_type = type(item.event)
+        return tuple(
+            s.handler
+            for s in tuple(item.face.subscriptions)
+            if s.owner is self and issubclass(event_type, s.event_type)
+        )
+
+    def _run_handlers(self, item: WorkItem) -> None:
+        for handler in self._match_handlers(item):
+            try:
+                handler(item.event)
+            except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+                self._fault(exc, item.event)
+                return
+
+    def _fault(self, exc: BaseException, event: Event) -> None:
+        """Wrap an uncaught handler exception per paper section 2.5."""
+        with self._lock:
+            self.state = LifecycleState.FAULTY
+        escalate(Fault(exc, self, event))
+
+    def _handle_init(self, item: WorkItem) -> None:
+        self._run_handlers(item)
+        with self._lock:
+            self._init_received = True
+            self._flush_buffer_locked()
+
+    def _handle_start(self, item: WorkItem) -> None:
+        if self.state is LifecycleState.ACTIVE:
+            return
+        with self._lock:
+            self.state = LifecycleState.ACTIVE
+        self._run_handlers(item)
+        for child in tuple(self.children):
+            dispatch.trigger(Start(), child.control_port.outside)
+        with self._lock:
+            self._flush_buffer_locked()
+
+    def _handle_stop(self, item: WorkItem) -> None:
+        if self.state is not LifecycleState.ACTIVE:
+            return
+        self._run_handlers(item)
+        with self._lock:
+            self.state = LifecycleState.PASSIVE
+        for child in tuple(self.children):
+            dispatch.trigger(Stop(), child.control_port.outside)
+
+    # ----------------------------------------------------------- reconfig ops
+
+    def drain_pending(self) -> list[WorkItem]:
+        """Remove and return all delivered-but-unexecuted work items.
+
+        Used by :func:`repro.core.reconfig.replace_component` to migrate
+        in-queue events from a component being replaced to its successor,
+        so that reconfiguration drops no triggered events.
+        """
+        with self._lock:
+            items = [*self._queue, *self._buffer]
+            self._queue.clear()
+            self._buffer.clear()
+        return items
+
+    def recover(self) -> None:
+        """Clear a FAULTY state and resume executing queued events."""
+        must_schedule = False
+        with self._lock:
+            if self.state is not LifecycleState.FAULTY:
+                raise LifecycleError(f"{self.name} is not faulty")
+            self.state = LifecycleState.ACTIVE
+            self._flush_buffer_locked()
+            if self._queue and self._exec_state == ExecutionState.IDLE:
+                self._exec_state = ExecutionState.READY
+                must_schedule = True
+        if must_schedule:
+            self.system.component_ready(self)
+
+    def destroy(self) -> None:
+        """Destroy this component, its subtree and all attached channels."""
+        with self._lock:
+            if self.state is LifecycleState.DESTROYED:
+                return
+            self.state = LifecycleState.DESTROYED
+            self._queue.clear()
+            self._buffer.clear()
+        for child in tuple(self.children):
+            child.destroy()
+        all_ports = [self.control_port, *self.ports.values()]
+        for port in all_ports:
+            for face in (port.inside, port.outside):
+                for ch in tuple(face.channels):
+                    ch.destroy()
+                face.subscriptions.clear()
+        try:
+            self.definition.tear_down()
+        except Exception:  # noqa: BLE001 - teardown must not break destroy
+            logging.getLogger("repro.core").exception(
+                "tear_down of %s raised", self.name
+            )
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        self.system.unregister_component(self)
+        self.system.bump_generation()
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def pending_events(self) -> int:
+        with self._lock:
+            return len(self._queue) + len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComponentCore {self.name} {self.state.value}>"

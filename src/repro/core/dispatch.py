@@ -1,0 +1,141 @@
+"""Publish-subscribe event dissemination (paper section 2.3).
+
+The propagation rules, given an event with direction ``d`` arriving at a
+port face:
+
+1. Deliver the event to every subscription at the face whose event type
+   matches and whose incoming direction is ``d`` (matched handlers are
+   captured *now* and enqueued on the subscriber's FIFO work queue —
+   paper Fig. 7 semantics: all compatible handlers run sequentially).
+2. Continue propagation:
+
+   - at an *outside* face, if ``d`` crosses the boundary inward, recurse on
+     the inside face; otherwise forward along the channels attached here;
+   - at an *inside* face, if ``d`` is inward-flowing, forward along the
+     delegation channels attached here (down to children); otherwise cross
+     outward and recurse on the outside face.
+
+As an optimization (explicitly called out by the paper), forwarding along a
+channel is skipped when no compatible subscription is transitively reachable
+through it; see :func:`leads_to_subscriber`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import PortTypeError
+from .event import Direction, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import ComponentCore
+    from .port import PortFace
+
+
+def trigger(event: Event, face: "PortFace") -> None:
+    """Asynchronously send ``event`` through a port face (paper section 2.2).
+
+    Triggering on a port's *inside* face is the owner emitting an event
+    (e.g. a provider triggering an indication); triggering on a child's
+    *outside* face is the parent pushing an event into the child (e.g.
+    ``trigger(Start(), child.control())``).
+    """
+    port = face.port
+    if face.is_inside:
+        # The owner emits; events travel in the owner's outgoing direction.
+        direction = face.incoming.opposite
+    else:
+        # A parent pushes into the component (e.g. Start on a child's
+        # control port); events travel inward across the boundary.
+        direction = port.boundary_inward
+    if not port.port_type.allowed(direction, type(event)):
+        raise PortTypeError(
+            f"{type(event).__name__} may not be triggered in the "
+            f"{direction.value} direction of {port.port_type.__name__} "
+            f"(at {face!r})"
+        )
+    arrive(face, event, direction)
+
+
+def arrive(face: "PortFace", event: Event, direction: Direction) -> None:
+    """Propagate an in-flight event from ``face`` per the rules above."""
+    deliver(face, event, direction)
+    port = face.port
+    inward = direction is port.boundary_inward
+    if not face.is_inside:
+        if inward:
+            arrive(port.inside, event, direction)
+        else:
+            for channel in tuple(face.channels):
+                channel.forward(event, direction, face)
+    else:
+        if inward:
+            for channel in tuple(face.channels):
+                channel.forward(event, direction, face)
+        else:
+            arrive(port.outside, event, direction)
+
+
+def deliver(face: "PortFace", event: Event, direction: Direction) -> None:
+    """Enqueue work on every component with a matching subscription at ``face``.
+
+    Handlers are *matched again at execution time* (Kompics port-queue
+    semantics): unsubscribing prevents already-delivered but not-yet-executed
+    events from being handled — the paper's reply-only-once example (§2.2)
+    relies on this.
+    """
+    if direction is not face.incoming or not face.subscriptions:
+        return
+    event_type = type(event)
+    owners: dict["ComponentCore", None] = {}
+    for subscription in tuple(face.subscriptions):
+        if issubclass(event_type, subscription.event_type):
+            owners.setdefault(subscription.owner)
+    for owner in owners:
+        owner.receive_event(event, face)
+
+
+def leads_to_subscriber(
+    face: "PortFace",
+    event_type: type[Event],
+    direction: Direction,
+    _visited: set[int] | None = None,
+) -> bool:
+    """Return True if an event of ``event_type`` arriving at ``face`` can
+    transitively reach a compatible subscription.
+
+    Used by channels to prune forwarding (paper section 2.3: "our runtime
+    system avoids forwarding events on channels that would not lead to any
+    compatible subscribed handlers").  Held channels are conservatively
+    treated as reachable since queued events are delivered on resume.
+    """
+    visited = _visited if _visited is not None else set()
+    key = id(face)
+    if key in visited:
+        return False
+    visited.add(key)
+
+    if direction is face.incoming and any(
+        issubclass(event_type, s.event_type) for s in face.subscriptions
+    ):
+        return True
+
+    port = face.port
+    inward = direction is port.boundary_inward
+    if not face.is_inside:
+        if inward:
+            return leads_to_subscriber(port.inside, event_type, direction, visited)
+        channels = face.channels
+    else:
+        if not inward:
+            return leads_to_subscriber(port.outside, event_type, direction, visited)
+        channels = face.channels
+    for channel in channels:
+        if channel.held:
+            return True
+        other = channel.other_end(face)
+        if other is None:
+            return True  # unplugged end queues events; conservatively reachable
+        if leads_to_subscriber(other, event_type, direction, visited):
+            return True
+    return False

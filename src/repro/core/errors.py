@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Kompics-style component model.
+
+All errors raised by the framework derive from :class:`KompicsError` so
+applications can catch framework misuse separately from their own bugs.
+"""
+
+from __future__ import annotations
+
+
+class KompicsError(Exception):
+    """Base class for all framework errors."""
+
+
+class PortTypeError(KompicsError):
+    """An event type is not allowed to traverse a port in a direction."""
+
+
+class ConnectionError(KompicsError):
+    """Two port faces cannot be legally connected by a channel."""
+
+
+class SubscriptionError(KompicsError):
+    """A handler cannot be subscribed to a port face."""
+
+
+class LifecycleError(KompicsError):
+    """An operation was attempted in an illegal life-cycle state."""
+
+
+class ConfigurationError(KompicsError):
+    """The component system or a component was configured inconsistently."""
+
+
+class SimulationError(KompicsError):
+    """A deterministic-simulation invariant was violated."""

@@ -1,0 +1,55 @@
+"""Events: passive, immutable, typed message objects (paper section 2.1).
+
+Events are plain Python objects; subclassing expresses the event-type
+hierarchy the paper relies on (``DataMessage <= Message``).  Concrete events
+are usually declared as frozen dataclasses::
+
+    @dataclass(frozen=True)
+    class DataMessage(Message):
+        data: bytes
+        sequence_number: int
+
+The framework never mutates events and may deliver the *same* event object
+to many handlers (publish-subscribe fan-out), so immutability is part of the
+model's contract, not just style.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Event:
+    """Root of the event-type hierarchy.
+
+    Every object that traverses a port must be an :class:`Event`.  The class
+    carries no state of its own; attributes belong to subclasses.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class Direction(enum.Enum):
+    """The sign of an event flowing through a port.
+
+    ``POSITIVE`` events flow from a *provider* toward a *requirer*
+    (indications/responses); ``NEGATIVE`` events flow from a requirer toward
+    a provider (requests).  The paper writes these as ``+`` and ``-``.
+    """
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.NEGATIVE if self is Direction.POSITIVE else Direction.POSITIVE
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+POSITIVE = Direction.POSITIVE
+NEGATIVE = Direction.NEGATIVE

@@ -1,0 +1,73 @@
+"""Fault isolation and management (paper section 2.5).
+
+An exception thrown and not caught within an event handler is caught by the
+runtime, wrapped into a :class:`Fault` event and triggered on the faulty
+component's control port.  A parent that subscribed a Fault handler to the
+child's control port handles it (typically replacing the child through
+dynamic reconfiguration).  An unhandled Fault is propagated up the
+containment hierarchy; if it reaches the root unhandled, the system fault
+handler runs (by default: dump to stderr and halt the component system).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import TYPE_CHECKING, Optional
+
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import ComponentCore
+
+
+class Fault(Event):
+    """An uncaught handler exception, wrapped for the component hierarchy."""
+
+    __slots__ = ("cause", "source", "event")
+
+    def __init__(
+        self,
+        cause: BaseException,
+        source: "ComponentCore",
+        event: Optional[Event] = None,
+    ) -> None:
+        self.cause = cause
+        self.source = source
+        self.event = event
+
+    def trace(self) -> str:
+        """The formatted traceback of the wrapped exception."""
+        return "".join(
+            traceback.format_exception(type(self.cause), self.cause, self.cause.__traceback__)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Fault {type(self.cause).__name__}({self.cause}) in "
+            f"{self.source.name} while handling {self.event!r}>"
+        )
+
+
+def escalate(fault: Fault) -> None:
+    """Deliver ``fault`` to the nearest ancestor with a Fault subscription.
+
+    Walks up from the faulty component: at each level, the parent's
+    subscriptions on the child's control port (outside face) are checked; if
+    none match, the fault escalates one level.  Reaching the root unhandled
+    invokes the component system's fault handler.
+    """
+    component = fault.source
+    while component is not None:
+        face = component.control_port.outside
+        matched: dict = {}
+        for subscription in face.subscriptions:
+            if issubclass(Fault, subscription.event_type):
+                matched.setdefault(subscription.owner, []).append(subscription.handler)
+        if matched:
+            for owner, handlers in matched.items():
+                owner.receive_work(fault, tuple(handlers), is_control=True)
+            return
+        component = component.parent
+    system = fault.source.system
+    if system is not None:
+        system.handle_root_fault(fault)

@@ -1,0 +1,108 @@
+"""Event handlers and subscriptions (paper section 2.1).
+
+A handler is a first-class procedure of a component accepting events of one
+type (and its subtypes).  Handlers are declared with the :func:`handles`
+decorator on methods of a :class:`~repro.core.component.ComponentDefinition`::
+
+    class FailureDetector(ComponentDefinition):
+        @handles(Pong)
+        def on_pong(self, pong: Pong) -> None:
+            ...
+
+A :class:`Subscription` binds a handler to one port face; the handler then
+executes (mutually exclusively with the component's other handlers) for
+every compatible event arriving at that face.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .errors import SubscriptionError
+from .event import Direction, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import ComponentCore
+    from .port import PortFace
+
+HandlerFn = Callable[[Event], None]
+
+_EVENT_TYPE_ATTR = "_kompics_event_type"
+
+
+def handles(event_type: type[Event]) -> Callable[[Callable], Callable]:
+    """Declare the event type a component method handles.
+
+    The declared type is picked up by
+    :meth:`~repro.core.component.ComponentDefinition.subscribe` so call
+    sites read ``self.subscribe(self.on_pong, self.network)``.
+    """
+    if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+        raise SubscriptionError(f"@handles() requires an Event subclass, got {event_type!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        setattr(fn, _EVENT_TYPE_ATTR, event_type)
+        return fn
+
+    return decorate
+
+
+def declared_event_type(fn: Callable) -> type[Event] | None:
+    """Return the event type attached by :func:`handles`, if any."""
+    return getattr(fn, _EVENT_TYPE_ATTR, None)
+
+
+class Subscription:
+    """A binding of one handler to one port face.
+
+    ``owner`` is the component whose work queue the handler executes on; it
+    is normally the component that declared the handler (which may differ
+    from the port's owner — e.g. a parent subscribing a Fault handler to a
+    child's control port).
+    """
+
+    __slots__ = ("handler", "event_type", "face", "owner")
+
+    def __init__(
+        self,
+        handler: HandlerFn,
+        event_type: type[Event],
+        face: "PortFace",
+        owner: "ComponentCore",
+    ) -> None:
+        self.handler = handler
+        self.event_type = event_type
+        self.face = face
+        self.owner = owner
+
+    def matches(self, event_type: type[Event], direction: Direction) -> bool:
+        return direction is self.face.incoming and issubclass(event_type, self.event_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Subscription {self.event_type.__name__} at {self.face!r} "
+            f"for {self.owner.name}>"
+        )
+
+
+def make_subscription(
+    handler: HandlerFn,
+    face: "PortFace",
+    owner: "ComponentCore",
+    event_type: type[Event] | None = None,
+) -> Subscription:
+    """Validate and build a subscription (paper: subscriptions are checked
+    against the port type definition)."""
+    resolved = event_type or declared_event_type(handler)
+    if resolved is None:
+        raise SubscriptionError(
+            f"handler {handler!r} has no @handles() declaration and no "
+            f"event_type was given"
+        )
+    if not face.port_type.allowed(face.incoming, resolved):
+        raise SubscriptionError(
+            f"{resolved.__name__} events cannot arrive at {face!r} "
+            f"(not allowed in the {face.incoming.value} direction of "
+            f"{face.port_type.__name__})"
+        )
+    return Subscription(handler, resolved, face, owner)

@@ -1,0 +1,57 @@
+"""Component life-cycle events and the Control port (paper section 2.4).
+
+Every component provides a Control port carrying:
+
+- ``Init`` (negative): component-specific configuration; guaranteed to be
+  the first event a component handles if it subscribed an Init handler.
+- ``Start`` / ``Stop`` (negative): activate / passivate the component, which
+  recursively activates / passivates its subcomponents.
+- ``Fault`` (positive): uncaught handler exceptions, wrapped by the runtime
+  (see :mod:`repro.core.fault`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .event import Event
+from .fault import Fault
+from .port import PortType
+
+
+class Init(Event):
+    """Base class for component initialization events.
+
+    Subclass this per component definition to carry configuration
+    parameters, mirroring the paper's ``MyInit`` examples.
+    """
+
+    __slots__ = ()
+
+
+class Start(Event):
+    """Activate a component (and, recursively, its subcomponents)."""
+
+    __slots__ = ()
+
+
+class Stop(Event):
+    """Passivate a component (and, recursively, its subcomponents)."""
+
+    __slots__ = ()
+
+
+class ControlPort(PortType):
+    """The control port every component provides by default."""
+
+    positive = (Fault,)
+    negative = (Init, Start, Stop)
+
+
+class LifecycleState(enum.Enum):
+    """Externally observable component states."""
+
+    PASSIVE = "passive"
+    ACTIVE = "active"
+    FAULTY = "faulty"
+    DESTROYED = "destroyed"

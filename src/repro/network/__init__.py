@@ -1,0 +1,38 @@
+"""The Network abstraction and its pluggable implementations.
+
+Three interchangeable providers of the same Network port (the paper's
+MINA/Netty/Grizzly pluggability, section 3):
+
+- :class:`LoopbackNetwork` — in-process routing (local stress-test mode);
+- :class:`TcpNetwork` — real sockets, framing, compression (deployment);
+- :class:`repro.simulation.emulator.EmulatedNetwork` — simulated latency
+  under virtual time (simulation mode).
+"""
+
+from .address import Address, local_address
+from .delayed import DelayedLoopbackNetwork
+from .json_codec import JsonCodec, register_message, registered_types
+from .loopback import LoopbackHub, LoopbackNetwork, hub_of
+from .message import Message, Network, NetworkControlMessage
+from .serialization import Codec, FrameCodec, PickleCodec, SerializationError
+from .tcp import TcpNetwork
+
+__all__ = [
+    "Address",
+    "Codec",
+    "DelayedLoopbackNetwork",
+    "FrameCodec",
+    "JsonCodec",
+    "LoopbackHub",
+    "LoopbackNetwork",
+    "Message",
+    "Network",
+    "NetworkControlMessage",
+    "PickleCodec",
+    "SerializationError",
+    "TcpNetwork",
+    "hub_of",
+    "local_address",
+    "register_message",
+    "registered_types",
+]

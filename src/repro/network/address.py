@@ -1,0 +1,33 @@
+"""Network addresses: the identity of a node in a distributed system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A node address: host, port and an optional logical node id.
+
+    The logical ``node_id`` identifies a node in overlay protocols (e.g. a
+    ring key); two addresses with the same host/port but different ids are
+    distinct identities, which models node incarnations after churn.
+    """
+
+    host: str
+    port: int
+    node_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.node_id is None:
+            return f"{self.host}:{self.port}"
+        return f"{self.host}:{self.port}/{self.node_id}"
+
+    def with_id(self, node_id: int) -> "Address":
+        return Address(self.host, self.port, node_id)
+
+
+def local_address(port: int, node_id: Optional[int] = None) -> Address:
+    """Convenience constructor for in-process / localhost addresses."""
+    return Address("127.0.0.1", port, node_id)

@@ -1,0 +1,67 @@
+"""DelayedLoopbackNetwork: in-process transport with injected latency.
+
+The local interactive stress-test mode (paper Fig 12 right) runs in real
+time, but the raw loopback delivers in microseconds — nothing like a LAN.
+This variant delays each delivery through the shared timer wheel using a
+:class:`~repro.simulation.latency.LatencyModel`, so real-time runs exhibit
+realistic message timing (and message loss, if configured) without
+sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from ..simulation.latency import ConstantLatency, LatencyModel
+from ..timer.wheel import TimerWheel
+from .address import Address
+from .loopback import LoopbackHub, hub_of
+from .message import Message, Network
+
+_WHEEL_KEY = "timer_wheel"
+
+
+class DelayedLoopbackNetwork(ComponentDefinition):
+    """Provides Network; delivers through the hub after a sampled delay."""
+
+    def __init__(
+        self,
+        address: Address,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.address = address
+        self.latency = latency if latency is not None else ConstantLatency(0.001)
+        self.loss_rate = loss_rate
+        self.port = self.provides(Network)
+        self._hub: LoopbackHub = hub_of(self.system)
+        self._hub.register(address, self)
+        if _WHEEL_KEY not in self.system.services:
+            self.system.register_service(_WHEEL_KEY, TimerWheel(self.system.clock))
+        self._wheel: TimerWheel = self.system.services[_WHEEL_KEY]  # type: ignore[assignment]
+        self.sent = 0
+        self.received = 0
+        self.lost = 0
+        self.subscribe(self.on_send, self.port)
+
+    @handles(Message)
+    def on_send(self, message: Message) -> None:
+        self.sent += 1
+        if self.loss_rate > 0 and self.system.random.random() < self.loss_rate:
+            self.lost += 1
+            return
+        delay = self.latency.sample(
+            self.system.random, message.source, message.destination
+        )
+        self._wheel.schedule(delay, lambda: self._hub.route(message))
+
+    def deliver(self, message: Message) -> None:
+        """Called by the hub once the delay elapsed."""
+        self.received += 1
+        self.trigger(message, self.port)
+
+    def tear_down(self) -> None:
+        self._hub.unregister(self.address)

@@ -1,0 +1,93 @@
+"""LoopbackNetwork: in-process Network for multi-node single-process runs.
+
+This is the transport behind the paper's "local, interactive, stress-test
+execution" mode (Fig 12 right): every node lives in one OS process, each
+with its own LoopbackNetwork component; a shared per-system hub routes
+messages by destination address, synchronously and in FIFO order.
+
+By default messages are passed by reference (zero-copy).  With
+``serialize=True`` every message round-trips through the frame codec,
+exercising the serialization path without sockets — useful to measure
+codec cost (benchmarks) and to catch unpicklable messages early.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from .address import Address
+from .message import Message, Network
+from .serialization import FrameCodec
+
+
+class LoopbackHub:
+    """Shared address -> component routing table (a system service)."""
+
+    def __init__(self) -> None:
+        self._routes: dict[Address, "LoopbackNetwork"] = {}
+        self._lock = threading.Lock()
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(self, address: Address, adapter: "LoopbackNetwork") -> None:
+        with self._lock:
+            self._routes[address] = adapter
+
+    def unregister(self, address: Address) -> None:
+        with self._lock:
+            self._routes.pop(address, None)
+
+    def route(self, message: Message) -> bool:
+        with self._lock:
+            adapter = self._routes.get(message.destination)
+        if adapter is None:
+            # Unknown destination: a lossy network drops silently, exactly
+            # like a datagram to a dead host.
+            self.dropped += 1
+            return False
+        adapter.deliver(message)
+        self.delivered += 1
+        return True
+
+
+_SERVICE_KEY = "loopback_hub"
+
+
+def hub_of(system) -> LoopbackHub:
+    """Fetch or lazily create the system's loopback hub."""
+    if _SERVICE_KEY not in system.services:
+        system.register_service(_SERVICE_KEY, LoopbackHub())
+    return system.services[_SERVICE_KEY]
+
+
+class LoopbackNetwork(ComponentDefinition):
+    """Provides Network for one node address within the process."""
+
+    def __init__(self, address: Address, serialize: bool = False) -> None:
+        super().__init__()
+        self.address = address
+        self.port = self.provides(Network)
+        self._codec: Optional[FrameCodec] = FrameCodec() if serialize else None
+        self._hub = hub_of(self.system)
+        self._hub.register(address, self)
+        self.sent = 0
+        self.received = 0
+        self.subscribe(self.on_send, self.port)
+
+    @handles(Message)
+    def on_send(self, message: Message) -> None:
+        self.sent += 1
+        if self._codec is not None:
+            message = self._codec.unframe(self._codec.frame(message))
+        self._hub.route(message)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the hub (possibly from another node's handler)."""
+        self.received += 1
+        self.trigger(message, self.port)
+
+    def tear_down(self) -> None:
+        self._hub.unregister(self.address)

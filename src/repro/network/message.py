@@ -1,0 +1,38 @@
+"""The Message event family and the Network port type (paper section 2.1).
+
+``Network`` allows ``Message`` in both directions: a node *sends* by
+triggering a Message request on its required Network port; the network
+implementation at the destination *delivers* by triggering a Message
+indication on its provided Network port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.event import Event
+from ..core.port import PortType
+from .address import Address
+
+
+@dataclass(frozen=True)
+class Message(Event):
+    """Base class of all network messages."""
+
+    source: Address
+    destination: Address
+
+    def reply_to(self) -> Address:
+        return self.source
+
+
+class Network(PortType):
+    """The Network service abstraction (paper's Network port type)."""
+
+    positive = (Message,)
+    negative = (Message,)
+
+
+@dataclass(frozen=True)
+class NetworkControlMessage(Message):
+    """Base for implementation-level control traffic (not application data)."""

@@ -1,0 +1,137 @@
+"""Message serialization and framing (paper section 3).
+
+The paper's network components implement "message serialization and Zlib
+compression" with pluggable codecs (Kryo in CATS).  We provide the same
+structure: a :class:`Codec` turns a Message into bytes and back; a
+:class:`FrameCodec` wraps a codec with a length-prefixed wire frame and
+optional zlib compression above a size threshold.
+
+Wire format (big-endian)::
+
+    +--------+--------+----------------+
+    | u32    | u8     | payload        |
+    | length | flags  | length bytes   |
+    +--------+--------+----------------+
+
+``flags & 0x01`` marks a zlib-compressed payload.
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import pickle
+import struct
+import zlib
+from typing import Optional
+
+from ..core.errors import KompicsError
+from .message import Message
+
+_HEADER = struct.Struct(">IB")
+FLAG_COMPRESSED = 0x01
+
+
+class SerializationError(KompicsError):
+    """A message could not be encoded or decoded."""
+
+
+class Codec(abc.ABC):
+    """Pluggable message codec."""
+
+    @abc.abstractmethod
+    def encode(self, message: Message) -> bytes: ...
+
+    @abc.abstractmethod
+    def decode(self, payload: bytes) -> Message: ...
+
+
+class PickleCodec(Codec):
+    """Default codec: Python pickling (stands in for the paper's Kryo)."""
+
+    def encode(self, message: Message) -> bytes:
+        try:
+            return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001
+            raise SerializationError(f"cannot pickle {message!r}: {exc}") from exc
+
+    def decode(self, payload: bytes) -> Message:
+        try:
+            message = pickle.loads(payload)
+        except Exception as exc:  # noqa: BLE001
+            raise SerializationError(f"cannot unpickle frame: {exc}") from exc
+        if not isinstance(message, Message):
+            raise SerializationError(f"decoded object is not a Message: {message!r}")
+        return message
+
+
+class FrameCodec:
+    """Length-prefixed framing with optional zlib compression."""
+
+    def __init__(
+        self,
+        codec: Optional[Codec] = None,
+        compress_threshold: Optional[int] = 512,
+        max_frame: int = 64 * 1024 * 1024,
+    ) -> None:
+        self.codec = codec if codec is not None else PickleCodec()
+        self.compress_threshold = compress_threshold
+        self.max_frame = max_frame
+
+    def frame(self, message: Message) -> bytes:
+        payload = self.codec.encode(message)
+        flags = 0
+        if (
+            self.compress_threshold is not None
+            and len(payload) >= self.compress_threshold
+        ):
+            compressed = zlib.compress(payload)
+            if len(compressed) < len(payload):
+                payload = compressed
+                flags |= FLAG_COMPRESSED
+        if len(payload) > self.max_frame:
+            raise SerializationError(
+                f"frame of {len(payload)} bytes exceeds max_frame={self.max_frame}"
+            )
+        return _HEADER.pack(len(payload), flags) + payload
+
+    def unframe(self, frame: bytes) -> Message:
+        if len(frame) < _HEADER.size:
+            raise SerializationError("short frame")
+        length, flags = _HEADER.unpack_from(frame)
+        payload = frame[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length:
+            raise SerializationError("truncated frame")
+        if flags & FLAG_COMPRESSED:
+            payload = zlib.decompress(payload)
+        return self.codec.decode(payload)
+
+    # Streaming helpers (used by the TCP transport) ------------------------
+
+    def read_frame(self, stream: io.RawIOBase) -> Optional[Message]:
+        """Read one frame from a blocking stream; None on clean EOF."""
+        header = _read_exactly(stream, _HEADER.size)
+        if header is None:
+            return None
+        length, flags = _HEADER.unpack(header)
+        if length > self.max_frame:
+            raise SerializationError(f"incoming frame too large: {length}")
+        payload = _read_exactly(stream, length)
+        if payload is None:
+            raise SerializationError("connection closed mid-frame")
+        if flags & FLAG_COMPRESSED:
+            payload = zlib.decompress(payload)
+        return self.codec.decode(payload)
+
+
+def _read_exactly(stream, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on EOF (clean or mid-read)."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,212 @@
+"""TcpNetwork: a real-sockets Network implementation.
+
+The stand-in for the paper's Grizzly/Netty/MINA components (section 3):
+automatic connection management, length-prefixed frames, pluggable codec,
+zlib compression.  One acceptor thread, plus a reader and a writer thread
+per live connection; delivered messages are triggered on the provided
+Network port from reader threads (component enqueueing is thread-safe).
+
+Connections are reused in both directions: a dialing node sends a hello
+frame carrying its listen address, so the accepting side can route replies
+back over the same socket.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from .address import Address
+from .message import Message, Network, NetworkControlMessage
+from .serialization import FrameCodec, SerializationError
+
+
+@dataclass(frozen=True)
+class _Hello(NetworkControlMessage):
+    """Handshake frame: tells the acceptor the dialer's listen address."""
+
+
+class TcpNetwork(ComponentDefinition):
+    """Provides Network over TCP sockets."""
+
+    def __init__(
+        self,
+        address: Address,
+        codec: Optional[FrameCodec] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        super().__init__()
+        self.address = address
+        self.port = self.provides(Network)
+        self.codec = codec if codec is not None else FrameCodec()
+        self.connect_timeout = connect_timeout
+        self.sent = 0
+        self.received = 0
+        self._connections: dict[tuple[str, int], _Connection] = {}
+        self._lock = threading.Lock()
+        self._closing = False
+
+        self._server = socket.create_server(
+            (address.host, address.port), reuse_port=False
+        )
+        # The OS may have picked the port (port=0): record the real one.
+        self.address = Address(address.host, self._server.getsockname()[1], address.node_id)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{self.address}", daemon=True
+        )
+        self._acceptor.start()
+        self.subscribe(self.on_send, self.port)
+
+    # --------------------------------------------------------------- sending
+
+    @handles(Message)
+    def on_send(self, message: Message) -> None:
+        if message.destination == self.address or (
+            message.destination.host == self.address.host
+            and message.destination.port == self.address.port
+        ):
+            # Self-send short-circuits the sockets.
+            self.trigger(message, self.port)
+            return
+        connection = self._connection_to(message.destination)
+        if connection is not None:
+            connection.send(message)
+            self.sent += 1
+
+    def _connection_to(self, destination: Address) -> Optional["_Connection"]:
+        key = (destination.host, destination.port)
+        with self._lock:
+            connection = self._connections.get(key)
+            if connection is not None and not connection.closed:
+                return connection
+        try:
+            sock = socket.create_connection(key, timeout=self.connect_timeout)
+            sock.settimeout(None)
+        except OSError:
+            self.log.warning("cannot connect to %s", destination)
+            return None
+        connection = _Connection(self, sock, key)
+        with self._lock:
+            self._connections[key] = connection
+        connection.start()
+        connection.send(_Hello(source=self.address, destination=destination))
+        return connection
+
+    # -------------------------------------------------------------- receiving
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                sock, _peer = self._server.accept()
+            except OSError:
+                return
+            connection = _Connection(self, sock, key=None)
+            connection.start()
+
+    def _deliver(self, message: Message, connection: "_Connection") -> None:
+        if isinstance(message, _Hello):
+            key = (message.source.host, message.source.port)
+            with self._lock:
+                connection.key = key
+                existing = self._connections.get(key)
+                if existing is None or existing.closed:
+                    self._connections[key] = connection
+            return
+        self.received += 1
+        self.trigger(message, self.port)
+
+    def _connection_closed(self, connection: "_Connection") -> None:
+        if connection.key is None:
+            return
+        with self._lock:
+            if self._connections.get(connection.key) is connection:
+                del self._connections[connection.key]
+
+    # ---------------------------------------------------------------- cleanup
+
+    def tear_down(self) -> None:
+        self._closing = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+
+
+class _Connection:
+    """One TCP connection: a writer queue/thread and a reader thread."""
+
+    def __init__(
+        self,
+        owner: TcpNetwork,
+        sock: socket.socket,
+        key: Optional[tuple[str, int]],
+    ) -> None:
+        self.owner = owner
+        self.sock = sock
+        self.key = key
+        self.closed = False
+        self._outbox: "queue.Queue[Optional[bytes]]" = queue.Queue()
+        self._writer = threading.Thread(target=self._write_loop, daemon=True)
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+
+    def start(self) -> None:
+        self._writer.start()
+        self._reader.start()
+
+    def send(self, message: Message) -> None:
+        if self.closed:
+            return
+        try:
+            self._outbox.put(self.owner.codec.frame(message))
+        except SerializationError:
+            self.owner.log.exception("dropping unserializable message")
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._outbox.put(None)
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self.owner._connection_closed(self)
+
+    def _write_loop(self) -> None:
+        while True:
+            frame = self._outbox.get()
+            if frame is None:
+                return
+            try:
+                self.sock.sendall(frame)
+            except OSError:
+                self.close()
+                return
+
+    def _read_loop(self) -> None:
+        stream = self.sock.makefile("rb")
+        try:
+            while True:
+                try:
+                    message = self.owner.codec.read_frame(stream)
+                except (SerializationError, OSError):
+                    break
+                if message is None:
+                    break
+                self.owner._deliver(message, self)
+        finally:
+            self.close()

@@ -1,0 +1,7 @@
+"""Reusable distributed-protocol components (paper section 4.1).
+
+Each subpackage pairs an *abstraction* (a port type plus its request and
+indication events) with one or more *component* implementations — the
+paper's abstraction-package / component-package structure mapped onto
+Python packages.
+"""

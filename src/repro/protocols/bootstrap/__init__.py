@@ -1,0 +1,25 @@
+"""The bootstrap service: server, client, and the Bootstrap abstraction."""
+
+from .client import BootstrapClient
+from .events import (
+    Bootstrap,
+    BootstrapDone,
+    BootstrapRequest,
+    BootstrapResponse,
+    GetPeersRequest,
+    GetPeersResponse,
+    KeepAlive,
+)
+from .server import BootstrapServer
+
+__all__ = [
+    "Bootstrap",
+    "BootstrapClient",
+    "BootstrapDone",
+    "BootstrapRequest",
+    "BootstrapResponse",
+    "BootstrapServer",
+    "GetPeersRequest",
+    "GetPeersResponse",
+    "KeepAlive",
+]

@@ -1,0 +1,116 @@
+"""BootstrapClient: every node's gateway to the bootstrap service.
+
+Provides the Bootstrap abstraction: on BootstrapRequest it fetches alive
+peers from the server and delivers a BootstrapResponse; after the node
+reports BootstrapDone it sends periodic keep-alives so the server keeps
+advertising this node (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.component import ComponentDefinition
+from ...core.handler import handles
+from ...network.address import Address
+from ...network.message import Network
+from ...timer.port import (
+    SchedulePeriodicTimeout,
+    ScheduleTimeout,
+    Timeout,
+    Timer,
+    new_timeout_id,
+)
+from .events import (
+    Bootstrap,
+    BootstrapDone,
+    BootstrapRequest,
+    BootstrapResponse,
+    GetPeersRequest,
+    GetPeersResponse,
+    KeepAlive,
+)
+
+
+@dataclass(frozen=True)
+class KeepAliveTick(Timeout):
+    """Internal keep-alive period."""
+
+
+@dataclass(frozen=True)
+class RequestRetry(Timeout):
+    """Retry GetPeers when ring creation was not granted to us."""
+
+
+class BootstrapClient(ComponentDefinition):
+    """Provides Bootstrap; requires Network and Timer."""
+
+    def __init__(
+        self,
+        address: Address,
+        server: Address,
+        keepalive_interval: float = 2.0,
+        max_peers: int = 16,
+        retry_interval: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.address = address
+        self.server = server
+        self.keepalive_interval = keepalive_interval
+        self.max_peers = max_peers
+        self.retry_interval = retry_interval
+        self.bootstrap = self.provides(Bootstrap)
+        self.network = self.requires(Network)
+        self.timer = self.requires(Timer)
+        self._joined = False
+
+        self.subscribe(self.on_request, self.bootstrap)
+        self.subscribe(self.on_done, self.bootstrap)
+        self.subscribe(self.on_peers, self.network, event_type=GetPeersResponse)
+        self.subscribe(self.on_keepalive_tick, self.timer)
+        self.subscribe(self.on_retry, self.timer)
+
+    @handles(BootstrapRequest)
+    def on_request(self, _request: BootstrapRequest) -> None:
+        self.trigger(
+            GetPeersRequest(self.address, self.server, max_peers=self.max_peers),
+            self.network,
+        )
+
+    @handles(GetPeersResponse)
+    def on_peers(self, message: GetPeersResponse) -> None:
+        if self._joined:
+            return
+        if not message.peers and not message.create_ring:
+            # Another first joiner holds the ring-creation grant: wait for
+            # it to appear in the server's peer list, then join through it.
+            self.trigger(
+                ScheduleTimeout(self.retry_interval, RequestRetry(new_timeout_id())),
+                self.timer,
+            )
+            return
+        self.trigger(BootstrapResponse(peers=message.peers), self.bootstrap)
+
+    @handles(RequestRetry)
+    def on_retry(self, _retry: RequestRetry) -> None:
+        if not self._joined:
+            self.on_request(BootstrapRequest())
+
+    @handles(BootstrapDone)
+    def on_done(self, _done: BootstrapDone) -> None:
+        if self._joined:
+            return
+        self._joined = True
+        self.trigger(KeepAlive(self.address, self.server), self.network)
+        self.trigger(
+            SchedulePeriodicTimeout(
+                self.keepalive_interval,
+                self.keepalive_interval,
+                KeepAliveTick(new_timeout_id()),
+            ),
+            self.timer,
+        )
+
+    @handles(KeepAliveTick)
+    def on_keepalive_tick(self, _tick: KeepAliveTick) -> None:
+        self.trigger(KeepAlive(self.address, self.server), self.network)

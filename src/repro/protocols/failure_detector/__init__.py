@@ -1,0 +1,15 @@
+"""Failure detection: the EPFD abstraction and the ping implementation."""
+
+from .ping_fd import FdPing, FdPong, PingFailureDetector
+from .port import FailureDetector, MonitorNode, Restore, StopMonitoringNode, Suspect
+
+__all__ = [
+    "FailureDetector",
+    "FdPing",
+    "FdPong",
+    "MonitorNode",
+    "PingFailureDetector",
+    "Restore",
+    "StopMonitoringNode",
+    "Suspect",
+]

@@ -1,0 +1,149 @@
+"""PingFailureDetector (paper Fig 11): increasing-timeout ping/pong EPFD.
+
+Every ``interval`` the detector pings all monitored nodes and checks the
+previous round's replies: a silent node becomes suspected; a reply from a
+suspected node restores it and widens the detection interval by
+``increment`` (the standard eventually-perfect construction for partially
+synchronous systems).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ...core.component import ComponentDefinition
+from ...core.handler import handles
+from ...network.address import Address
+from ...network.message import Message, Network, NetworkControlMessage
+from ...timer.port import (
+    ScheduleTimeout,
+    Timeout,
+    Timer,
+    new_timeout_id,
+)
+from .port import FailureDetector, MonitorNode, Restore, StopMonitoringNode, Suspect
+
+_nonces = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FdPing(NetworkControlMessage):
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class FdPong(NetworkControlMessage):
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class FdCheck(Timeout):
+    """Internal round timeout."""
+
+
+class PingFailureDetector(ComponentDefinition):
+    """Provides FailureDetector; requires Network and Timer."""
+
+    def __init__(
+        self,
+        address: Address,
+        interval: float = 0.5,
+        increment: float = 0.25,
+        misses_required: int = 2,
+    ) -> None:
+        super().__init__()
+        self.address = address
+        self.interval = interval
+        self.increment = increment
+        #: consecutive silent rounds before suspecting — tolerates sporadic
+        #: message loss without flapping (suspicion of a live node is very
+        #: disruptive upstream: it forces ring and view reconfiguration).
+        self.misses_required = misses_required
+        self.fd = self.provides(FailureDetector)
+        self.network = self.requires(Network)
+        self.timer = self.requires(Timer)
+
+        self._monitored: set[Address] = set()
+        self._alive: set[Address] = set()
+        self._suspected: set[Address] = set()
+        self._misses: dict[Address, int] = {}
+        self._round_pending = False
+
+        self.subscribe(self.on_monitor, self.fd)
+        self.subscribe(self.on_stop_monitoring, self.fd)
+        self.subscribe(self.on_ping, self.network, event_type=FdPing)
+        self.subscribe(self.on_pong, self.network, event_type=FdPong)
+        self.subscribe(self.on_check, self.timer)
+
+    # ----------------------------------------------------------------- rounds
+
+    def _schedule_round(self) -> None:
+        if self._round_pending or not self._monitored:
+            return
+        self._round_pending = True
+        self.trigger(
+            ScheduleTimeout(self.interval, FdCheck(new_timeout_id())), self.timer
+        )
+
+    @handles(FdCheck)
+    def on_check(self, _timeout: FdCheck) -> None:
+        self._round_pending = False
+        for node in tuple(self._monitored):
+            if node not in self._alive:
+                self._misses[node] = self._misses.get(node, 0) + 1
+                if (
+                    self._misses[node] >= self.misses_required
+                    and node not in self._suspected
+                ):
+                    self._suspected.add(node)
+                    self.trigger(Suspect(node), self.fd)
+            else:
+                self._misses[node] = 0
+                if node in self._suspected:
+                    self._suspected.discard(node)
+                    self.interval += self.increment
+                    self.trigger(Restore(node), self.fd)
+            self.trigger(
+                FdPing(self.address, node, nonce=next(_nonces)), self.network
+            )
+        self._alive.clear()
+        self._schedule_round()
+
+    # --------------------------------------------------------------- requests
+
+    @handles(MonitorNode)
+    def on_monitor(self, request: MonitorNode) -> None:
+        if request.node in self._monitored or request.node == self.address:
+            return
+        self._monitored.add(request.node)
+        self.trigger(FdPing(self.address, request.node, nonce=next(_nonces)), self.network)
+        self._schedule_round()
+
+    @handles(StopMonitoringNode)
+    def on_stop_monitoring(self, request: StopMonitoringNode) -> None:
+        self._monitored.discard(request.node)
+        self._alive.discard(request.node)
+        self._suspected.discard(request.node)
+        self._misses.pop(request.node, None)
+
+    # --------------------------------------------------------------- messages
+
+    @handles(FdPing)
+    def on_ping(self, message: FdPing) -> None:
+        self.trigger(
+            FdPong(self.address, message.source, nonce=message.nonce), self.network
+        )
+
+    @handles(FdPong)
+    def on_pong(self, message: FdPong) -> None:
+        self._alive.add(message.source)
+
+    # ------------------------------------------------------------- inspection
+
+    def status(self) -> dict:
+        return {
+            "monitored": sorted(str(a) for a in self._monitored),
+            "suspected": sorted(str(a) for a in self._suspected),
+            "interval": self.interval,
+        }

@@ -1,0 +1,51 @@
+"""The eventually-perfect failure detector abstraction.
+
+Requests ask the detector to (stop) monitor(ing) a node; indications report
+suspicion and restoration.  Eventual perfection: every crashed monitored
+node is eventually suspected (completeness), and suspicion of live nodes
+eventually stops (accuracy) because detection timeouts grow after every
+false suspicion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.event import Event
+from ...core.port import PortType
+from ...network.address import Address
+
+
+@dataclass(frozen=True)
+class MonitorNode(Event):
+    """Start monitoring ``node``."""
+
+    node: Address
+
+
+@dataclass(frozen=True)
+class StopMonitoringNode(Event):
+    """Stop monitoring ``node`` (idempotent)."""
+
+    node: Address
+
+
+@dataclass(frozen=True)
+class Suspect(Event):
+    """``node`` is suspected to have crashed."""
+
+    node: Address
+
+
+@dataclass(frozen=True)
+class Restore(Event):
+    """A previously suspected ``node`` turned out to be alive."""
+
+    node: Address
+
+
+class FailureDetector(PortType):
+    """The failure-detector service abstraction."""
+
+    positive = (Suspect, Restore)
+    negative = (MonitorNode, StopMonitoringNode)

@@ -1,0 +1,16 @@
+"""Monitoring: Status abstraction, per-node client, aggregating server."""
+
+from .client import MonitorClient, MonitorReport, ReportTick, freeze_statuses
+from .port import Status, StatusRequest, StatusResponse
+from .server import MonitorServer
+
+__all__ = [
+    "MonitorClient",
+    "MonitorReport",
+    "MonitorServer",
+    "ReportTick",
+    "Status",
+    "StatusRequest",
+    "StatusResponse",
+    "freeze_statuses",
+]

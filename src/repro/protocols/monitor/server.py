@@ -1,0 +1,120 @@
+"""MonitorServer: aggregates node reports into a global system view.
+
+Receives MonitorReports over the network, keeps the freshest snapshot per
+node, evicts stale nodes, and renders the global view over the Web
+abstraction (paper Fig 10).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ...core.component import ComponentDefinition
+from ...core.handler import handles
+from ...core.lifecycle import Start
+from ...network.address import Address
+from ...network.message import Network
+from ...timer.port import SchedulePeriodicTimeout, Timeout, Timer, new_timeout_id
+from ..web.port import Web, WebRequest, WebResponse
+from .client import MonitorReport
+
+
+@dataclass(frozen=True)
+class MonitorSweep(Timeout):
+    """Internal staleness sweep."""
+
+
+class MonitorServer(ComponentDefinition):
+    """Requires Network and Timer; provides Web."""
+
+    def __init__(
+        self,
+        address: Address,
+        staleness_timeout: float = 10.0,
+        sweep_interval: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.address = address
+        self.staleness_timeout = staleness_timeout
+        self.sweep_interval = sweep_interval
+        self.network = self.requires(Network)
+        self.timer = self.requires(Timer)
+        self.web = self.provides(Web)
+        self._view: dict[Address, tuple[float, dict[str, dict]]] = {}
+        self.reports_received = 0
+
+        self.subscribe(self.on_start, self.control)
+        self.subscribe(self.on_report, self.network, event_type=MonitorReport)
+        self.subscribe(self.on_sweep, self.timer)
+        self.subscribe(self.on_web_request, self.web)
+
+    @handles(Start)
+    def on_start(self, _event: Start) -> None:
+        self.trigger(
+            SchedulePeriodicTimeout(
+                self.sweep_interval, self.sweep_interval, MonitorSweep(new_timeout_id())
+            ),
+            self.timer,
+        )
+
+    @handles(MonitorReport)
+    def on_report(self, report: MonitorReport) -> None:
+        self.reports_received += 1
+        self._view[report.source] = (self.now(), report.as_dict())
+
+    @handles(MonitorSweep)
+    def on_sweep(self, _sweep: MonitorSweep) -> None:
+        horizon = self.now() - self.staleness_timeout
+        for node, (seen, _statuses) in tuple(self._view.items()):
+            if seen < horizon:
+                del self._view[node]
+
+    # -------------------------------------------------------------------- web
+
+    @handles(WebRequest)
+    def on_web_request(self, request: WebRequest) -> None:
+        if request.path.endswith(".json"):
+            body = json.dumps(self.global_view(), indent=2, sort_keys=True)
+            response = WebResponse(
+                request_id=request.request_id,
+                status=200,
+                content_type="application/json",
+                body=body,
+            )
+        else:
+            response = WebResponse(
+                request_id=request.request_id,
+                status=200,
+                content_type="text/html",
+                body=self._render_html(),
+            )
+        self.trigger(response, self.web)
+
+    def global_view(self) -> dict:
+        return {
+            str(node): {"age": round(self.now() - seen, 3), "components": statuses}
+            for node, (seen, statuses) in self._view.items()
+        }
+
+    def _render_html(self) -> str:
+        rows = []
+        for node, (seen, statuses) in sorted(self._view.items()):
+            summary = ", ".join(sorted(statuses))
+            rows.append(
+                f"<tr><td>{node}</td><td>{self.now() - seen:.1f}s</td>"
+                f"<td>{summary}</td></tr>"
+            )
+        return (
+            "<html><head><title>Monitor</title></head><body>"
+            f"<h1>Global view: {len(self._view)} nodes</h1>"
+            "<table border=1><tr><th>node</th><th>age</th><th>components</th></tr>"
+            + "".join(rows)
+            + "</table></body></html>"
+        )
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def node_count(self) -> int:
+        return len(self._view)

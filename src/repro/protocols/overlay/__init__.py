@@ -1,0 +1,14 @@
+"""Peer sampling: the NodeSampling abstraction and the Cyclon overlay."""
+
+from .cyclon import CyclonOverlay, ShuffleRequest, ShuffleResponse
+from .port import IntroducePeers, NodeSampling, Sample, SampleRequest
+
+__all__ = [
+    "CyclonOverlay",
+    "IntroducePeers",
+    "NodeSampling",
+    "Sample",
+    "SampleRequest",
+    "ShuffleRequest",
+    "ShuffleResponse",
+]

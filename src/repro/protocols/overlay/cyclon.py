@@ -1,0 +1,161 @@
+"""CyclonOverlay: gossip-based peer sampling (paper Fig 11: Cyclon Overlay).
+
+Implements the Cyclon shuffle (Voulgaris, Gavidia, van Steen 2005): each
+period the node picks its *oldest* neighbour, exchanges a random view
+subset with it, and merges the reply — replacing the entries it sent away
+and evicting the oldest when the view overflows.  The result approximates a
+uniform random sample of alive nodes, which the one-hop router consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.component import ComponentDefinition
+from ...core.handler import handles
+from ...core.lifecycle import Start
+from ...network.address import Address
+from ...network.message import Network, NetworkControlMessage
+from ...timer.port import SchedulePeriodicTimeout, Timeout, Timer, new_timeout_id
+from .port import IntroducePeers, NodeSampling, Sample, SampleRequest
+
+Entry = tuple[Address, int]  # (node, age)
+
+
+@dataclass(frozen=True)
+class ShuffleRequest(NetworkControlMessage):
+    entries: tuple[Entry, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShuffleResponse(NetworkControlMessage):
+    entries: tuple[Entry, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShuffleTick(Timeout):
+    """Internal shuffle period."""
+
+
+class CyclonOverlay(ComponentDefinition):
+    """Provides NodeSampling; requires Network and Timer."""
+
+    def __init__(
+        self,
+        address: Address,
+        view_size: int = 12,
+        shuffle_size: int = 5,
+        period: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.address = address
+        self.view_size = view_size
+        self.shuffle_size = shuffle_size
+        self.period = period
+        self.sampling = self.provides(NodeSampling)
+        self.network = self.requires(Network)
+        self.timer = self.requires(Timer)
+        self._view: dict[Address, int] = {}  # node -> age
+        self.shuffles = 0
+
+        self.subscribe(self.on_start, self.control)
+        self.subscribe(self.on_sample_request, self.sampling)
+        self.subscribe(self.on_introduce, self.sampling)
+        self.subscribe(self.on_tick, self.timer)
+        self.subscribe(self.on_shuffle_request, self.network, event_type=ShuffleRequest)
+        self.subscribe(self.on_shuffle_response, self.network, event_type=ShuffleResponse)
+
+    # ------------------------------------------------------------------ start
+
+    @handles(Start)
+    def on_start(self, _event: Start) -> None:
+        self.trigger(
+            SchedulePeriodicTimeout(
+                self.period, self.period, ShuffleTick(new_timeout_id())
+            ),
+            self.timer,
+        )
+
+    # --------------------------------------------------------------- requests
+
+    @handles(SampleRequest)
+    def on_sample_request(self, _request: SampleRequest) -> None:
+        self._publish()
+
+    @handles(IntroducePeers)
+    def on_introduce(self, request: IntroducePeers) -> None:
+        for node in request.nodes:
+            if node != self.address:
+                self._view.setdefault(node, 0)
+        self._shrink()
+        self._publish()
+
+    # ---------------------------------------------------------------- shuffle
+
+    @handles(ShuffleTick)
+    def on_tick(self, _tick: ShuffleTick) -> None:
+        if not self._view:
+            return
+        for node in self._view:
+            self._view[node] += 1
+        target = max(self._view, key=lambda node: self._view[node])
+        subset = self._select_subset(exclude=target)
+        subset.append((self.address, 0))
+        self.shuffles += 1
+        # Remove the target: it will be replaced by fresh entries from the
+        # reply (and naturally drops dead peers whose replies never come).
+        del self._view[target]
+        self.trigger(
+            ShuffleRequest(self.address, target, entries=tuple(subset)), self.network
+        )
+
+    @handles(ShuffleRequest)
+    def on_shuffle_request(self, message: ShuffleRequest) -> None:
+        subset = self._select_subset(exclude=message.source)
+        self.trigger(
+            ShuffleResponse(self.address, message.source, entries=tuple(subset)),
+            self.network,
+        )
+        self._merge(message.entries)
+
+    @handles(ShuffleResponse)
+    def on_shuffle_response(self, message: ShuffleResponse) -> None:
+        self._merge(message.entries)
+        self._view.setdefault(message.source, 0)
+        self._shrink()
+        self._publish()
+
+    # ---------------------------------------------------------------- helpers
+
+    def _select_subset(self, exclude: Address) -> list[Entry]:
+        candidates = [
+            (node, age) for node, age in self._view.items() if node != exclude
+        ]
+        self.system.random.shuffle(candidates)
+        return candidates[: self.shuffle_size]
+
+    def _merge(self, entries: tuple[Entry, ...]) -> None:
+        for node, age in entries:
+            if node == self.address:
+                continue
+            current = self._view.get(node)
+            if current is None or age < current:
+                self._view[node] = age
+        self._shrink()
+
+    def _shrink(self) -> None:
+        while len(self._view) > self.view_size:
+            oldest = max(self._view, key=lambda node: self._view[node])
+            del self._view[oldest]
+
+    def _publish(self) -> None:
+        self.trigger(Sample(nodes=tuple(self._view)), self.sampling)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def view(self) -> tuple[Address, ...]:
+        return tuple(self._view)
+
+    def status(self) -> dict:
+        return {"view_size": len(self._view), "shuffles": self.shuffles}

@@ -1,0 +1,40 @@
+"""The node-sampling abstraction (paper Fig 11: NodeSampling).
+
+A peer-sampling service continuously supplies small uniform-ish random
+samples of alive nodes.  Consumers either request a sample on demand or
+subscribe to the periodic Sample pushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.event import Event
+from ...core.port import PortType
+from ...network.address import Address
+
+
+@dataclass(frozen=True)
+class SampleRequest(Event):
+    """Ask for the current sample of alive peers."""
+
+
+@dataclass(frozen=True)
+class Sample(Event):
+    """A random sample of alive peers (also pushed after every shuffle)."""
+
+    nodes: tuple[Address, ...]
+
+
+@dataclass(frozen=True)
+class IntroducePeers(Event):
+    """Seed the overlay with initial contacts (e.g. from bootstrap)."""
+
+    nodes: tuple[Address, ...]
+
+
+class NodeSampling(PortType):
+    """The peer-sampling service abstraction."""
+
+    positive = (Sample,)
+    negative = (SampleRequest, IntroducePeers)

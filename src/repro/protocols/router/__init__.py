@@ -1,0 +1,6 @@
+"""Key routing: the Router abstraction and the one-hop implementation."""
+
+from .one_hop import OneHopRouter
+from .port import Resolve, ResolveFailed, Resolved, Router
+
+__all__ = ["OneHopRouter", "Resolve", "ResolveFailed", "Resolved", "Router"]

@@ -1,0 +1,111 @@
+"""OneHopRouter (paper Fig 11): route to the responsible node in one hop.
+
+Maintains a local membership table fed by the peer-sampling service and
+answers Resolve requests with the *successor* of the key among known node
+ids.  The table is a hint — under churn it can briefly lag the true ring —
+so consumers (CATS' quorum layer) revalidate against the authoritative
+successor lists and retry on rejection.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ...core.component import ComponentDefinition
+from ...core.handler import handles
+from ...network.address import Address
+from ..failure_detector.port import FailureDetector, Restore, Suspect
+from ..overlay.port import NodeSampling, Sample
+from .port import Resolve, ResolveFailed, Resolved, Router
+
+
+class OneHopRouter(ComponentDefinition):
+    """Provides Router; requires NodeSampling and FailureDetector."""
+
+    def __init__(self, address: Address) -> None:
+        super().__init__()
+        if address.node_id is None:
+            raise ValueError("OneHopRouter requires an address with a node_id")
+        self.address = address
+        self.router = self.provides(Router)
+        self.sampling = self.requires(NodeSampling)
+        self.fd = self.requires(FailureDetector)
+
+        self._members: dict[int, Address] = {address.node_id: address}
+        self._sorted_ids: list[int] = [address.node_id]
+        self.resolutions = 0
+
+        self.subscribe(self.on_sample, self.sampling)
+        self.subscribe(self.on_resolve, self.router)
+        self.subscribe(self.on_suspect, self.fd)
+        self.subscribe(self.on_restore, self.fd)
+
+    # ------------------------------------------------------------- membership
+
+    def _rebuild(self) -> None:
+        self._sorted_ids = sorted(self._members)
+
+    def add_members(self, nodes) -> None:
+        changed = False
+        for node in nodes:
+            if node.node_id is None:
+                continue
+            if self._members.get(node.node_id) != node:
+                self._members[node.node_id] = node
+                changed = True
+        if changed:
+            self._rebuild()
+
+    def remove_member(self, node: Address) -> None:
+        if node.node_id is not None and self._members.get(node.node_id) == node:
+            del self._members[node.node_id]
+            self._rebuild()
+
+    @handles(Sample)
+    def on_sample(self, sample: Sample) -> None:
+        self.add_members(sample.nodes)
+
+    @handles(Suspect)
+    def on_suspect(self, event: Suspect) -> None:
+        # Suspicion is deliberately not sticky: a falsely suspected node
+        # re-enters the table through gossip or Restore, and a truly dead
+        # node fades from gossip on its own.  Answers are hints anyway —
+        # the quorum layer revalidates and retries.
+        self.remove_member(event.node)
+
+    @handles(Restore)
+    def on_restore(self, event: Restore) -> None:
+        self.add_members([event.node])
+
+    # --------------------------------------------------------------- resolve
+
+    def successor_of(self, key: int) -> Address | None:
+        """The member with the smallest id >= key, wrapping around the ring."""
+        if not self._sorted_ids:
+            return None
+        index = bisect.bisect_left(self._sorted_ids, key)
+        if index == len(self._sorted_ids):
+            index = 0
+        return self._members[self._sorted_ids[index]]
+
+    @handles(Resolve)
+    def on_resolve(self, request: Resolve) -> None:
+        self.resolutions += 1
+        node = self.successor_of(request.key)
+        if node is None:
+            self.trigger(
+                ResolveFailed(request.key, request_id=request.request_id), self.router
+            )
+        else:
+            self.trigger(
+                Resolved(request.key, node, request_id=request.request_id), self.router
+            )
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)
+
+    def status(self) -> dict:
+        return {"members": len(self._members), "resolutions": self.resolutions}

@@ -1,0 +1,6 @@
+"""The Web abstraction and the HTTP bridge component."""
+
+from .port import Web, WebRequest, WebResponse, new_request_id
+from .server import WebServer
+
+__all__ = ["Web", "WebRequest", "WebResponse", "WebServer", "new_request_id"]

@@ -1,0 +1,47 @@
+"""The Web abstraction (paper section 4.1: the Web port).
+
+HTTP requests are wrapped into WebRequest events and answered with
+WebResponse events; any component providing content subscribes on a
+provided Web port.  Responses are correlated by ``request_id``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ...core.event import Event
+from ...core.port import PortType
+
+_request_ids = itertools.count(1)
+
+
+def new_request_id() -> int:
+    return next(_request_ids)
+
+
+@dataclass(frozen=True)
+class WebRequest(Event):
+    """One HTTP request routed into the component system."""
+
+    path: str
+    request_id: int = 0
+    method: str = "GET"
+    body: str = ""
+
+
+@dataclass(frozen=True)
+class WebResponse(Event):
+    """The answer to a WebRequest (correlated by request_id)."""
+
+    request_id: int
+    status: int = 200
+    content_type: str = "text/html"
+    body: str = ""
+
+
+class Web(PortType):
+    """The web-content abstraction."""
+
+    positive = (WebResponse,)
+    negative = (WebRequest,)

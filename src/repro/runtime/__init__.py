@@ -1,0 +1,29 @@
+"""Execution runtimes: schedulers, clocks, and the component system.
+
+The paper's third design principle — "decouple component code from its
+executor" — lives here: :class:`~repro.runtime.system.ComponentSystem`
+accepts any :class:`~repro.runtime.scheduler.Scheduler`, so the same
+components run under the multi-core work-stealing pool, a single thread, a
+manually stepped test harness, or the deterministic simulation runtime in
+:mod:`repro.simulation`.
+"""
+
+from .clock import Clock, MonotonicClock, VirtualClock, WallClock
+from .scheduler import ManualScheduler, Scheduler
+from .system import ComponentSystem
+from .trace import TraceEntry, Tracer
+from .work_stealing import SingleThreadScheduler, WorkStealingScheduler
+
+__all__ = [
+    "Clock",
+    "ComponentSystem",
+    "ManualScheduler",
+    "MonotonicClock",
+    "Scheduler",
+    "SingleThreadScheduler",
+    "TraceEntry",
+    "Tracer",
+    "VirtualClock",
+    "WallClock",
+    "WorkStealingScheduler",
+]

@@ -1,0 +1,82 @@
+"""The scheduler interface: component behaviour decoupled from execution.
+
+The paper's key architectural decision (section 3): the component model
+admits *pluggable* schedulers, so the same unchanged component code runs
+under parallel multi-core execution, deterministic simulation, or manual
+stepping in tests.  Schedulers receive components that transitioned from
+idle to ready and must eventually call
+:meth:`~repro.core.component.ComponentCore.execute` on them, requeueing
+while the component stays ready.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.component import ComponentCore
+    from .system import ComponentSystem
+
+
+class Scheduler(abc.ABC):
+    """Executes ready components; one event per component per slot by default."""
+
+    def __init__(self, throughput: int = 1) -> None:
+        #: events executed per component per scheduling slot (paper: 1).
+        self.throughput = throughput
+        self.system: "ComponentSystem | None" = None
+
+    def attach(self, system: "ComponentSystem") -> None:
+        """Bind this scheduler to a component system (called once)."""
+        self.system = system
+
+    @abc.abstractmethod
+    def schedule(self, component: "ComponentCore") -> None:
+        """A component transitioned idle -> ready; execute it eventually."""
+
+    def start(self) -> None:
+        """Begin executing (spawn workers, if any)."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop executing; drop components still queued."""
+
+
+class ManualScheduler(Scheduler):
+    """Deterministic single-threaded scheduler driven by explicit calls.
+
+    Ready components are executed in FIFO order by
+    :meth:`run_to_quiescence`, giving fully reproducible executions.  The
+    deterministic simulation runtime builds on this scheduler; unit tests
+    use it to step systems without threads.
+    """
+
+    def __init__(self, throughput: int = 1) -> None:
+        super().__init__(throughput)
+        from collections import deque
+
+        self._ready = deque()
+
+    def schedule(self, component: "ComponentCore") -> None:
+        self._ready.append(component)
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def step(self) -> bool:
+        """Execute one scheduling slot; returns False when nothing is ready."""
+        if not self._ready:
+            return False
+        component = self._ready.popleft()
+        if component.execute(self.throughput):
+            self._ready.append(component)
+        return True
+
+    def run_to_quiescence(self, max_slots: int | None = None) -> int:
+        """Run until no component is ready; returns slots executed."""
+        slots = 0
+        while self._ready and (max_slots is None or slots < max_slots):
+            self.step()
+            slots += 1
+        return slots

@@ -1,0 +1,75 @@
+"""Execution tracing: observe every handler execution in a system.
+
+The paper leans on two observability mechanisms — whole-system monitoring
+(section 4.1) and reproducible simulation for *stepped debugging* (section
+3).  A :class:`Tracer` complements both: attached to a ComponentSystem it
+records ``(time, component, event type)`` for every executed work item,
+giving deterministic, diffable execution traces in simulation and
+best-effort traces in production.
+
+Usage::
+
+    tracer = Tracer(capacity=10_000)
+    system.tracer = tracer              # or simulation.system.tracer = ...
+    ...
+    for entry in tracer.entries:
+        print(entry)
+    tracer.summary()                    # {event type name: count}
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed event."""
+
+    time: float
+    component: str
+    event_type: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.component:<30} {self.event_type}"
+
+
+class Tracer:
+    """Bounded in-memory trace of handler executions."""
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        event_filter: Optional[Callable[[str, str], bool]] = None,
+    ) -> None:
+        self.entries: deque[TraceEntry] = deque(maxlen=capacity)
+        self.event_filter = event_filter
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, time: float, component: str, event_type: str) -> None:
+        if self.event_filter is not None and not self.event_filter(
+            component, event_type
+        ):
+            self.dropped += 1
+            return
+        self.recorded += 1
+        self.entries.append(TraceEntry(time, component, event_type))
+
+    def summary(self) -> dict[str, int]:
+        """Event-type histogram of the retained trace."""
+        return dict(Counter(entry.event_type for entry in self.entries))
+
+    def by_component(self) -> dict[str, int]:
+        return dict(Counter(entry.component for entry in self.entries))
+
+    def fingerprint(self) -> int:
+        """Order-sensitive hash of the retained trace (determinism checks)."""
+        return hash(tuple((e.time, e.component, e.event_type) for e in self.entries))
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.recorded = 0
+        self.dropped = 0

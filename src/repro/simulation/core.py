@@ -1,0 +1,118 @@
+"""The deterministic simulation runtime (paper section 3, "Deterministic
+Simulation Mode").
+
+A :class:`Simulation` wraps a :class:`~repro.runtime.system.ComponentSystem`
+whose clock is virtual, whose scheduler is the deterministic FIFO
+:class:`~repro.runtime.scheduler.ManualScheduler`, and whose time-dependent
+services (timers, the network emulator) post to one discrete-event queue.
+
+The simulation loop alternates two phases, exactly like the paper's
+simulation scheduler: execute ready components until quiescence, then
+advance virtual time to the next queued event and dispatch it.  Given the
+same seed and the same component code, every run is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.errors import SimulationError
+from ..runtime.clock import VirtualClock
+from ..runtime.scheduler import ManualScheduler
+from ..runtime.system import ComponentSystem
+from .event_queue import EventQueue
+
+QUEUE_SERVICE = "simulation_event_queue"
+
+
+class Simulation:
+    """A deterministic, virtual-time component system."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fault_policy: str = "raise",
+        prune_channels: bool = True,
+        name: str = "simulation",
+    ) -> None:
+        self.clock = VirtualClock()
+        self.scheduler = ManualScheduler()
+        self.queue = EventQueue()
+        self.system = ComponentSystem(
+            scheduler=self.scheduler,
+            clock=self.clock,
+            seed=seed,
+            fault_policy=fault_policy,
+            prune_channels=prune_channels,
+            name=name,
+        )
+        self.system.register_service(QUEUE_SERVICE, self.queue)
+        self._stop_requested = False
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------- scheduling
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def schedule(self, delay: float, action: Callable[[], None]):
+        """Schedule an action ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.queue.schedule(self.clock.now() + delay, action)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current dispatch."""
+        self._stop_requested = True
+
+    # -------------------------------------------------------------- main loop
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_dispatches: Optional[int] = None,
+    ) -> str:
+        """Run the simulation; returns why it stopped.
+
+        ``"quiescent"``  — no ready components and no future events;
+        ``"horizon"``    — the next event lies beyond ``until``;
+        ``"stopped"``    — :meth:`stop` was called;
+        ``"budget"``     — ``max_dispatches`` timed events were dispatched.
+        """
+        self._stop_requested = False
+        while True:
+            self.scheduler.run_to_quiescence()
+            if self._stop_requested:
+                return "stopped"
+            if max_dispatches is not None and self.events_dispatched >= max_dispatches:
+                return "budget"
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                return "quiescent"
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return "horizon"
+            entry = self.queue.pop_due()
+            assert entry is not None
+            self.clock.advance_to(entry.time)
+            self.events_dispatched += 1
+            entry.action()
+
+    # ------------------------------------------------------------ convenience
+
+    def bootstrap(self, definition, *args, **kwargs):
+        return self.system.bootstrap(definition, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self.system.shutdown()
+
+
+def queue_of(system: ComponentSystem) -> EventQueue:
+    """The simulation event queue of ``system`` (simulation mode only)."""
+    queue = system.services.get(QUEUE_SERVICE)
+    if queue is None:
+        raise SimulationError(
+            "this ComponentSystem is not running in simulation mode "
+            f"(no {QUEUE_SERVICE!r} service)"
+        )
+    return queue  # type: ignore[return-value]

@@ -1,0 +1,122 @@
+"""Random-variate distributions for the experiment-scenario DSL (paper §4.4).
+
+All sampling goes through the system's seeded ``random.Random``, keeping
+scenario generation deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class Distribution(abc.ABC):
+    """A source of random values drawn from a shared RNG."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random): ...
+
+
+class Constant(Distribution):
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def sample(self, rng):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"constant({self.value})"
+
+
+class Uniform(Distribution):
+    def __init__(self, low: float, high: float) -> None:
+        self.low = low
+        self.high = high
+
+    def sample(self, rng):
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"uniform({self.low}, {self.high})"
+
+
+class UniformInt(Distribution):
+    def __init__(self, low: int, high: int) -> None:
+        self.low = low
+        self.high = high
+
+    def sample(self, rng):
+        return rng.randint(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"uniform_int({self.low}, {self.high})"
+
+
+class KeyUniform(Distribution):
+    """Uniform identifiers from ``[0, 2**bits)`` — the paper's ``uniform(16)``."""
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+
+    def sample(self, rng):
+        return rng.randrange(0, 1 << self.bits)
+
+    def __repr__(self) -> str:
+        return f"key_uniform({self.bits})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given *mean* (the paper parameterizes by mean)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self.mean = mean
+
+    def sample(self, rng):
+        return rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"exponential(mean={self.mean})"
+
+
+class Normal(Distribution):
+    """Gaussian truncated below at ``minimum`` (inter-arrival times >= 0)."""
+
+    def __init__(self, mean: float, stddev: float, minimum: float = 0.0) -> None:
+        self.mean = mean
+        self.stddev = stddev
+        self.minimum = minimum
+
+    def sample(self, rng):
+        return max(self.minimum, rng.gauss(self.mean, self.stddev))
+
+    def __repr__(self) -> str:
+        return f"normal({self.mean}, {self.stddev})"
+
+
+# Convenience constructors mirroring the paper's DSL vocabulary.
+
+
+def constant(value) -> Constant:
+    return Constant(value)
+
+
+def uniform(low: float, high: float) -> Uniform:
+    return Uniform(low, high)
+
+
+def uniform_int(low: int, high: int) -> UniformInt:
+    return UniformInt(low, high)
+
+
+def key_uniform(bits: int) -> KeyUniform:
+    return KeyUniform(bits)
+
+
+def exponential(mean: float) -> Exponential:
+    return Exponential(mean)
+
+
+def normal(mean: float, stddev: float) -> Normal:
+    return Normal(mean, stddev)

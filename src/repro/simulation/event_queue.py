@@ -1,0 +1,69 @@
+"""The discrete-event queue driving simulated time.
+
+Everything time-dependent in simulation mode — timer expiries, message
+deliveries, scenario operations — is an entry in this queue.  Entries at
+equal timestamps fire in insertion order, which (together with the FIFO
+component scheduler and the seeded RNG) makes whole-system simulation fully
+deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class ScheduledEntry:
+    """One future action in virtual time."""
+
+    __slots__ = ("time", "sequence", "action", "cancelled")
+
+    def __init__(self, time: float, sequence: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "ScheduledEntry") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of timed actions."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEntry] = []
+        self._sequence = itertools.count()
+        self.scheduled_total = 0
+        self.fired_total = 0
+
+    def schedule(self, at: float, action: Callable[[], None]) -> ScheduledEntry:
+        """Schedule ``action`` at absolute virtual time ``at``."""
+        entry = ScheduledEntry(at, next(self._sequence), action)
+        heapq.heappush(self._heap, entry)
+        self.scheduled_total += 1
+        return entry
+
+    def pop_due(self) -> Optional[ScheduledEntry]:
+        """Pop the earliest non-cancelled entry, or None if empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                self.fired_total += 1
+                return entry
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

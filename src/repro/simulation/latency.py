@@ -1,0 +1,79 @@
+"""Latency models for the network emulator."""
+
+from __future__ import annotations
+
+import abc
+import random
+from ..network.address import Address
+
+
+class LatencyModel(abc.ABC):
+    """One-way message latency between two addresses, in seconds."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float: ...
+
+
+class ConstantLatency(LatencyModel):
+    def __init__(self, latency: float = 0.001) -> None:
+        self.latency = latency
+
+    def sample(self, rng, source, destination) -> float:
+        return self.latency
+
+
+class UniformLatency(LatencyModel):
+    def __init__(self, low: float = 0.0005, high: float = 0.005) -> None:
+        if low > high:
+            raise ValueError("low must not exceed high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng, source, destination) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class NormalLatency(LatencyModel):
+    """Gaussian latency, truncated at ``minimum``."""
+
+    def __init__(self, mean: float = 0.002, stddev: float = 0.0005, minimum: float = 1e-6):
+        self.mean = mean
+        self.stddev = stddev
+        self.minimum = minimum
+
+    def sample(self, rng, source, destination) -> float:
+        return max(self.minimum, rng.gauss(self.mean, self.stddev))
+
+
+class PairwiseLatency(LatencyModel):
+    """Per-(source, destination) base latency with optional jitter.
+
+    A laptop-scale stand-in for trace-driven matrices like the King data
+    set: deterministic pairwise base latencies derived from node ids, plus
+    uniform jitter.
+    """
+
+    def __init__(
+        self,
+        base_low: float = 0.0005,
+        base_high: float = 0.01,
+        jitter: float = 0.0002,
+        seed: int = 0,
+    ) -> None:
+        self.base_low = base_low
+        self.base_high = base_high
+        self.jitter = jitter
+        self.seed = seed
+        self._cache: dict[tuple[Address, Address], float] = {}
+
+    def _base(self, source: Address, destination: Address) -> float:
+        key = (source, destination)
+        base = self._cache.get(key)
+        if base is None:
+            pair_rng = random.Random((hash(key) ^ self.seed) & 0xFFFFFFFF)
+            base = pair_rng.uniform(self.base_low, self.base_high)
+            self._cache[key] = base
+        return base
+
+    def sample(self, rng, source, destination) -> float:
+        return self._base(source, destination) + rng.uniform(0, self.jitter)

@@ -1,0 +1,258 @@
+"""The experiment-scenario DSL (paper section 4.4).
+
+A scenario is a parallel and/or sequential composition of *stochastic
+processes*: finite random sequences of operations with a configured
+inter-arrival-time distribution.  The paper's example translates directly::
+
+    boot = (StochasticProcess("boot")
+            .event_inter_arrival_time(exponential(2.0))
+            .raise_events(1000, cats_join, key_uniform(16)))
+
+    churn = (StochasticProcess("churn")
+             .event_inter_arrival_time(exponential(0.5))
+             .raise_events(500, cats_join, key_uniform(16))
+             .raise_events(500, cats_fail, key_uniform(16)))
+
+    lookups = (StochasticProcess("lookups")
+               .event_inter_arrival_time(normal(0.05, 0.01))
+               .raise_events(5000, cats_lookup, key_uniform(16), key_uniform(14)))
+
+    scenario = Scenario()
+    scenario.start(boot)
+    scenario.start_after_termination_of(2.0, boot, churn)
+    scenario.start_after_start_of(3.0, churn, lookups)
+    scenario.terminate_after_termination_of(1.0, lookups)
+    scenario.simulate(simulation, sink)     # deterministic virtual time
+    # scenario.execute(system, sink)        # same scenario, real time
+
+Operations are plain callables taking the sampled arguments and returning a
+command event (or ``None``); the *sink* — typically a trigger onto an
+experiment port — consumes them.  When a process declares several
+``raise_events`` groups, their operations are randomly interleaved (the
+paper's churn process: 500 joins interleaved with 500 failures).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Optional
+
+from ..core.errors import ConfigurationError
+from .core import Simulation
+from .distributions import Distribution
+
+Operation = Callable[..., object]
+Sink = Callable[[object], None]
+
+
+class StochasticProcess:
+    """A finite random sequence of operations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inter_arrival: Optional[Distribution] = None
+        self.groups: list[tuple[int, Operation, tuple[Distribution, ...]]] = []
+
+    def event_inter_arrival_time(self, distribution: Distribution) -> "StochasticProcess":
+        self.inter_arrival = distribution
+        return self
+
+    def raise_events(
+        self, count: int, operation: Operation, *argument_distributions: Distribution
+    ) -> "StochasticProcess":
+        if count < 1:
+            raise ConfigurationError("raise_events needs a positive count")
+        self.groups.append((count, operation, argument_distributions))
+        return self
+
+    @property
+    def total_events(self) -> int:
+        return sum(count for count, _op, _dists in self.groups)
+
+    def __repr__(self) -> str:
+        return f"<StochasticProcess {self.name}: {self.total_events} events>"
+
+
+class Scenario:
+    """A composition of stochastic processes over (virtual or real) time."""
+
+    def __init__(self) -> None:
+        self._rules: list[tuple[str, float, Optional[StochasticProcess], Optional[StochasticProcess]]] = []
+        self._processes: list[StochasticProcess] = []
+
+    # -------------------------------------------------------- composition DSL
+
+    def _register(self, process: Optional[StochasticProcess]) -> None:
+        if process is not None and process not in self._processes:
+            if process.inter_arrival is None or not process.groups:
+                raise ConfigurationError(
+                    f"process {process.name!r} needs an inter-arrival time and "
+                    f"at least one raise_events group"
+                )
+            self._processes.append(process)
+
+    def start(self, process: StochasticProcess, after: float = 0.0) -> "Scenario":
+        """Start ``process`` at scenario time ``after``."""
+        self._register(process)
+        self._rules.append(("start_at", after, None, process))
+        return self
+
+    def start_after_start_of(
+        self, delay: float, predecessor: StochasticProcess, process: StochasticProcess
+    ) -> "Scenario":
+        """Parallel composition: start ``process`` after ``predecessor`` starts."""
+        self._register(predecessor)
+        self._register(process)
+        self._rules.append(("after_start", delay, predecessor, process))
+        return self
+
+    def start_after_termination_of(
+        self, delay: float, predecessor: StochasticProcess, process: StochasticProcess
+    ) -> "Scenario":
+        """Sequential composition: start ``process`` after ``predecessor`` ends."""
+        self._register(predecessor)
+        self._register(process)
+        self._rules.append(("after_termination", delay, predecessor, process))
+        return self
+
+    def terminate_after_termination_of(
+        self, delay: float, process: StochasticProcess
+    ) -> "Scenario":
+        """Join synchronization: end the experiment after ``process`` ends."""
+        self._register(process)
+        self._rules.append(("terminate", delay, process, None))
+        return self
+
+    # --------------------------------------------------------------- running
+
+    def simulate(self, simulation: Simulation, sink: Sink) -> dict[str, int]:
+        """Drive a deterministic simulation from this scenario.
+
+        Schedules the scenario onto the simulation's event queue; the caller
+        then calls ``simulation.run()``.  Returns a live counter dict
+        (events raised per process) that fills in as the simulation runs.
+        """
+        run = _ScenarioRun(
+            self,
+            schedule=lambda delay, fn: simulation.schedule(delay, fn),
+            rng=simulation.system.random,
+            sink=sink,
+            terminate=simulation.stop,
+        )
+        run.begin()
+        return run.counters
+
+    def execute(
+        self,
+        system,
+        sink: Sink,
+        time_scale: float = 1.0,
+    ) -> tuple[dict[str, int], threading.Event]:
+        """Drive a real-time system from the same scenario (paper Fig 12 right).
+
+        ``time_scale`` < 1 compresses delays (0.1 = 10x faster than spec).
+        Returns the live counters and an Event set when the scenario's
+        terminate rule fires.
+        """
+        from ..timer.wheel import TimerWheel
+
+        if "timer_wheel" not in system.services:
+            system.register_service("timer_wheel", TimerWheel(system.clock))
+        wheel: TimerWheel = system.services["timer_wheel"]
+        done = threading.Event()
+        run = _ScenarioRun(
+            self,
+            schedule=lambda delay, fn: wheel.schedule(delay * time_scale, fn),
+            rng=system.random,
+            sink=sink,
+            terminate=done.set,
+        )
+        run.begin()
+        return run.counters, done
+
+
+class _ScenarioRun:
+    """One execution of a scenario over an abstract timebase."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        schedule: Callable[[float, Callable[[], None]], object],
+        rng: random.Random,
+        sink: Sink,
+        terminate: Callable[[], None],
+    ) -> None:
+        self.scenario = scenario
+        self.schedule = schedule
+        self.rng = rng
+        self.sink = sink
+        self.terminate = terminate
+        self.counters: dict[str, int] = {p.name: 0 for p in scenario._processes}
+        self._started: set[str] = set()
+        self._terminated: set[str] = set()
+
+    def begin(self) -> None:
+        for kind, delay, _pred, process in self.scenario._rules:
+            if kind == "start_at":
+                assert process is not None
+                self.schedule(delay, lambda p=process: self._start_process(p))
+
+    def _start_process(self, process: StochasticProcess) -> None:
+        if process.name in self._started:
+            return
+        self._started.add(process.name)
+        for kind, delay, pred, dependent in self.scenario._rules:
+            if kind == "after_start" and pred is process:
+                assert dependent is not None
+                self.schedule(delay, lambda p=dependent: self._start_process(p))
+        _ProcessRun(process, self).schedule_next()
+
+    def _process_terminated(self, process: StochasticProcess) -> None:
+        if process.name in self._terminated:
+            return
+        self._terminated.add(process.name)
+        for kind, delay, pred, dependent in self.scenario._rules:
+            if kind == "after_termination" and pred is process:
+                assert dependent is not None
+                self.schedule(delay, lambda p=dependent: self._start_process(p))
+            elif kind == "terminate" and pred is process:
+                self.schedule(delay, self.terminate)
+
+
+class _ProcessRun:
+    """Executes one stochastic process: samples delays, fires operations."""
+
+    def __init__(self, process: StochasticProcess, run: _ScenarioRun) -> None:
+        self.process = process
+        self.run = run
+        self.remaining = [
+            [count, operation, distributions]
+            for count, operation, distributions in process.groups
+        ]
+
+    def schedule_next(self) -> None:
+        if all(group[0] == 0 for group in self.remaining):
+            self.run._process_terminated(self.process)
+            return
+        assert self.process.inter_arrival is not None
+        delay = self.process.inter_arrival.sample(self.run.rng)
+        self.run.schedule(delay, self.fire)
+
+    def fire(self) -> None:
+        # Pick a raise_events group weighted by remaining counts: groups of
+        # one process are randomly interleaved (paper's churn process).
+        total = sum(group[0] for group in self.remaining)
+        pick = self.run.rng.randrange(total)
+        for group in self.remaining:
+            if pick < group[0]:
+                break
+            pick -= group[0]
+        group[0] -= 1
+        _count, operation, distributions = group
+        arguments = [d.sample(self.run.rng) for d in distributions]
+        command = operation(*arguments)
+        if command is not None:
+            self.run.sink(command)
+        self.run.counters[self.process.name] += 1
+        self.schedule_next()

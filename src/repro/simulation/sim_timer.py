@@ -1,0 +1,77 @@
+"""SimTimer: the Timer abstraction under virtual time.
+
+Drop-in replacement for :class:`~repro.timer.thread_timer.ThreadTimer` in
+simulation mode — same port, same events, but expiries come from the
+simulation's discrete-event queue, so the same component code runs
+unchanged under virtual time (the paper's core decoupling claim).
+"""
+
+from __future__ import annotations
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from ..timer.port import (
+    CancelPeriodicTimeout,
+    CancelTimeout,
+    ScheduleTimeout,
+    SchedulePeriodicTimeout,
+    Timeout,
+    Timer,
+)
+from .core import queue_of
+from .event_queue import ScheduledEntry
+
+
+class SimTimer(ComponentDefinition):
+    """Timer service backed by the simulation event queue."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.provides(Timer)
+        self._queue = queue_of(self.system)
+        self._pending: dict[int, ScheduledEntry] = {}
+        self.subscribe(self.on_schedule, self.port)
+        self.subscribe(self.on_schedule_periodic, self.port)
+        self.subscribe(self.on_cancel, self.port)
+        self.subscribe(self.on_cancel_periodic, self.port)
+
+    def _fire_once(self, timeout: Timeout) -> None:
+        self._pending.pop(timeout.timeout_id, None)
+        self.trigger(timeout, self.port)
+
+    def _fire_periodic(self, timeout: Timeout, period: float) -> None:
+        if timeout.timeout_id not in self._pending:
+            return  # cancelled
+        self.trigger(timeout, self.port)
+        self._pending[timeout.timeout_id] = self._queue.schedule(
+            self.system.clock.now() + period,
+            lambda: self._fire_periodic(timeout, period),
+        )
+
+    @handles(ScheduleTimeout)
+    def on_schedule(self, request: ScheduleTimeout) -> None:
+        entry = self._queue.schedule(
+            self.system.clock.now() + request.delay,
+            lambda: self._fire_once(request.timeout),
+        )
+        self._pending[request.timeout.timeout_id] = entry
+
+    @handles(SchedulePeriodicTimeout)
+    def on_schedule_periodic(self, request: SchedulePeriodicTimeout) -> None:
+        entry = self._queue.schedule(
+            self.system.clock.now() + request.delay,
+            lambda: self._fire_periodic(request.timeout, request.period),
+        )
+        self._pending[request.timeout.timeout_id] = entry
+
+    @handles(CancelTimeout)
+    def on_cancel(self, request: CancelTimeout) -> None:
+        entry = self._pending.pop(request.timeout_id, None)
+        if entry is not None:
+            entry.cancel()
+
+    @handles(CancelPeriodicTimeout)
+    def on_cancel_periodic(self, request: CancelPeriodicTimeout) -> None:
+        entry = self._pending.pop(request.timeout_id, None)
+        if entry is not None:
+            entry.cancel()

@@ -1,0 +1,12 @@
+"""Unit-testing support for components (paper section 3, "Testing").
+
+The paper argues Kompics supports test-driven development because a
+component can be tested in isolation: feed events into its ports, observe
+what it triggers.  :class:`ComponentHarness` packages that pattern —
+inspired by Kompics' TestKit — on top of the deterministic manual
+scheduler and virtual time.
+"""
+
+from .harness import ComponentHarness, PortProbe
+
+__all__ = ["ComponentHarness", "PortProbe"]

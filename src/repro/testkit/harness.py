@@ -1,0 +1,200 @@
+"""A deterministic harness for unit-testing one component in isolation."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..core.component import Component, ComponentDefinition
+from ..core.errors import ConfigurationError
+from ..core.event import Event
+from ..core.fault import Fault
+from ..core.handler import handles
+from ..core.lifecycle import Init, Start, Stop
+from ..core.port import PortType
+from ..simulation.core import Simulation
+from ..simulation.sim_timer import SimTimer
+from ..timer.port import Timer
+
+
+class _Probe(ComponentDefinition):
+    """The counterpart of one port of the component under test."""
+
+    def __init__(self, port_type: type[PortType], provides: bool) -> None:
+        super().__init__()
+        self.port = self.provides(port_type) if provides else self.requires(port_type)
+        self.captured: deque[Event] = deque()
+        incoming = port_type.negative if provides else port_type.positive
+        # One subscription per declared incoming event type (subtypes match).
+        for event_type in incoming:
+            self.subscribe(self._capture, self.port, event_type=event_type)
+
+    def _capture(self, event: Event) -> None:
+        self.captured.append(event)
+
+
+class PortProbe:
+    """Captures events the component emits on one port; injects events into it."""
+
+    def __init__(self, harness: "ComponentHarness", probe: Component) -> None:
+        self._harness = harness
+        self._probe = probe
+
+    @property
+    def captured(self) -> deque[Event]:
+        return self._probe.definition.captured
+
+    def inject(self, event: Event, settle: bool = True) -> None:
+        """Send an event into the component under test through this port."""
+        definition = self._probe.definition
+        definition.trigger(event, definition.port)
+        if settle:
+            self._harness.settle()
+
+    def expect(self, event_type: type[Event] = Event) -> Event:
+        """Pop and return the next captured event of ``event_type``."""
+        captured = self.captured
+        for index, event in enumerate(captured):
+            if isinstance(event, event_type):
+                del captured[index]
+                return event
+        raise AssertionError(
+            f"no {event_type.__name__} captured; got {list(captured)!r}"
+        )
+
+    def expect_none(self, event_type: type[Event] = Event) -> None:
+        matching = [e for e in self.captured if isinstance(e, event_type)]
+        if matching:
+            raise AssertionError(f"unexpected events captured: {matching!r}")
+
+    def drain(self, event_type: type[Event] = Event) -> list[Event]:
+        """Remove and return all captured events of ``event_type``."""
+        kept, out = deque(), []
+        for event in self.captured:
+            (out if isinstance(event, event_type) else kept).append(event)
+        self._probe.definition.captured = kept
+        return out
+
+    def __len__(self) -> int:
+        return len(self.captured)
+
+
+class ComponentHarness:
+    """Run one component against probes, in virtual time.
+
+    Example::
+
+        harness = ComponentHarness(PingFailureDetector, addr, interval=0.5)
+        network = harness.probe(Network)
+        fd = harness.probe(FailureDetector)
+        harness.start()
+        fd.inject(MonitorNode(peer))
+        ping = network.expect(FdPing)
+        network.inject(FdPong(peer, addr, nonce=ping.nonce))
+        harness.run(for_=2.0)
+        fd.expect_none(Suspect)
+
+    Every required port of the component is served by a probe acting as its
+    provider, and every provided port gets a probe requirer — except Timer,
+    which by default is served by a real :class:`SimTimer` under virtual
+    time (pass ``timer="probe"`` to probe it instead).
+    """
+
+    def __init__(
+        self,
+        definition_cls: type[ComponentDefinition],
+        *args: object,
+        init: Optional[Init] = None,
+        timer: str = "sim",
+        seed: int = 0,
+        **kwargs: object,
+    ) -> None:
+        if timer not in ("sim", "probe"):
+            raise ConfigurationError("timer must be 'sim' or 'probe'")
+        self.simulation = Simulation(seed=seed, fault_policy="record")
+        built: dict = {}
+
+        class _Root(ComponentDefinition):
+            def __init__(root) -> None:
+                super().__init__()
+                built["cut"] = root.create(definition_cls, *args, init=init, **kwargs)
+                cut = built["cut"]
+                built["probes"] = {}
+                built["faults"] = []
+                root.subscribe(root.on_fault, cut.control())
+                for (port_type, provided), _port in tuple(cut.core.ports.items()):
+                    if port_type is Timer and not provided and timer == "sim":
+                        sim_timer = root.create(SimTimer)
+                        root.connect(sim_timer.provided(Timer), cut.required(Timer))
+                        continue
+                    probe = root.create(_Probe, port_type, provides=not provided)
+                    if provided:
+                        root.connect(cut.provided(port_type), probe.required(port_type))
+                    else:
+                        root.connect(probe.provided(port_type), cut.required(port_type))
+                    built["probes"][(port_type, provided)] = probe
+
+            @handles(Fault)
+            def on_fault(root, fault: Fault) -> None:
+                built["faults"].append(fault)
+
+        self.root = self.simulation.bootstrap(_Root)
+        self.component: Component = built["cut"]
+        self._probes: dict = built["probes"]
+        self.faults: list[Fault] = built["faults"]
+        self._started = False
+        self.settle()
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def definition(self) -> ComponentDefinition:
+        return self.component.definition
+
+    def probe(self, port_type: type[PortType], provided: Optional[bool] = None) -> PortProbe:
+        """The probe attached to the component's port of ``port_type``.
+
+        ``provided`` selects the side when the component both provides and
+        requires the same port type.
+        """
+        matches = [
+            (key, probe)
+            for key, probe in self._probes.items()
+            if key[0] is port_type and (provided is None or key[1] == provided)
+        ]
+        if not matches:
+            raise ConfigurationError(
+                f"the component has no probed {port_type.__name__} port"
+            )
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"ambiguous {port_type.__name__} port: pass provided=True/False"
+            )
+        return PortProbe(self, matches[0][1])
+
+    # --------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Start the component under test (Init, if any, was sent at create)."""
+        self._started = True
+        self.settle()
+
+    def stop(self) -> None:
+        from ..core.dispatch import trigger
+
+        trigger(Stop(), self.component.control())
+        self.settle()
+
+    def settle(self) -> None:
+        """Execute all ready components without advancing virtual time."""
+        self.simulation.scheduler.run_to_quiescence()
+
+    def run(self, for_: float) -> None:
+        """Advance virtual time, firing timers along the way."""
+        self.simulation.run(until=self.simulation.now() + for_)
+
+    def now(self) -> float:
+        return self.simulation.now()
+
+    def shutdown(self) -> None:
+        self.simulation.shutdown()

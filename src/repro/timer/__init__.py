@@ -1,0 +1,25 @@
+"""The Timer abstraction and its production implementation."""
+
+from .port import (
+    CancelPeriodicTimeout,
+    CancelTimeout,
+    ScheduleTimeout,
+    SchedulePeriodicTimeout,
+    Timeout,
+    Timer,
+    new_timeout_id,
+)
+from .thread_timer import ThreadTimer
+from .wheel import TimerWheel
+
+__all__ = [
+    "CancelPeriodicTimeout",
+    "CancelTimeout",
+    "ScheduleTimeout",
+    "SchedulePeriodicTimeout",
+    "ThreadTimer",
+    "Timeout",
+    "Timer",
+    "TimerWheel",
+    "new_timeout_id",
+]

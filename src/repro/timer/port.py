@@ -1,0 +1,74 @@
+"""The Timer abstraction (paper section 2.1).
+
+``Timer`` is the canonical request/indication port type of the paper: it
+accepts ``ScheduleTimeout``/``CancelTimeout`` requests and delivers
+``Timeout`` indications.  Components define their own ``Timeout`` subclasses
+carrying protocol-specific payloads::
+
+    @dataclass(frozen=True)
+    class PingTimeout(Timeout):
+        target: Address = None
+
+    st = ScheduleTimeout(0.5, PingTimeout(new_timeout_id(), target=peer))
+    self.trigger(st, self.timer)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.event import Event
+from ..core.port import PortType
+
+_timeout_ids = itertools.count(1)
+
+
+def new_timeout_id() -> int:
+    """Allocate a fresh, process-unique timeout id."""
+    return next(_timeout_ids)
+
+
+@dataclass(frozen=True)
+class Timeout(Event):
+    """Base class of all timeout indications."""
+
+    timeout_id: int
+
+
+@dataclass(frozen=True)
+class ScheduleTimeout(Event):
+    """Request a one-shot timeout ``delay`` seconds from now."""
+
+    delay: float
+    timeout: Timeout
+
+
+@dataclass(frozen=True)
+class SchedulePeriodicTimeout(Event):
+    """Request a periodic timeout: first after ``delay``, then every ``period``."""
+
+    delay: float
+    period: float
+    timeout: Timeout
+
+
+@dataclass(frozen=True)
+class CancelTimeout(Event):
+    """Cancel a pending one-shot timeout by id (idempotent)."""
+
+    timeout_id: int
+
+
+@dataclass(frozen=True)
+class CancelPeriodicTimeout(Event):
+    """Cancel a periodic timeout by id (idempotent)."""
+
+    timeout_id: int
+
+
+class Timer(PortType):
+    """The Timer service abstraction."""
+
+    positive = (Timeout,)
+    negative = (ScheduleTimeout, SchedulePeriodicTimeout, CancelTimeout, CancelPeriodicTimeout)

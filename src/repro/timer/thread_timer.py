@@ -1,0 +1,67 @@
+"""ThreadTimer: the production Timer implementation (the paper's JavaTimer).
+
+Provides the :class:`~repro.timer.port.Timer` abstraction backed by a shared
+per-system :class:`~repro.timer.wheel.TimerWheel` thread.  Timeout events
+are triggered on the provided port from the wheel thread; component
+enqueueing is thread-safe, so handlers observe them like any other event.
+"""
+
+from __future__ import annotations
+
+from ..core.component import ComponentDefinition
+from ..core.handler import handles
+from .port import (
+    CancelPeriodicTimeout,
+    CancelTimeout,
+    ScheduleTimeout,
+    SchedulePeriodicTimeout,
+    Timer,
+    Timeout,
+)
+from .wheel import TimerWheel
+
+_SERVICE_KEY = "timer_wheel"
+
+
+class ThreadTimer(ComponentDefinition):
+    """Timer service backed by a shared wheel thread."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.provides(Timer)
+        self.subscribe(self.on_schedule, self.port)
+        self.subscribe(self.on_schedule_periodic, self.port)
+        self.subscribe(self.on_cancel, self.port)
+        self.subscribe(self.on_cancel_periodic, self.port)
+        services = self.system.services
+        if _SERVICE_KEY not in services:
+            self.system.register_service(_SERVICE_KEY, TimerWheel(self.system.clock))
+        self._wheel: TimerWheel = services[_SERVICE_KEY]  # type: ignore[assignment]
+
+    def _fire(self, timeout: Timeout) -> None:
+        self.trigger(timeout, self.port)
+
+    @handles(ScheduleTimeout)
+    def on_schedule(self, request: ScheduleTimeout) -> None:
+        timeout = request.timeout
+        self._wheel.schedule(
+            request.delay, lambda: self._fire(timeout), key=timeout.timeout_id
+        )
+
+    @handles(SchedulePeriodicTimeout)
+    def on_schedule_periodic(self, request: SchedulePeriodicTimeout) -> None:
+        timeout = request.timeout
+        self._wheel.schedule(
+            request.delay,
+            lambda: self._fire(timeout),
+            period=request.period,
+            key=timeout.timeout_id,
+        )
+
+    @handles(CancelTimeout)
+    def on_cancel(self, request: CancelTimeout) -> None:
+        self._wheel.cancel(request.timeout_id)
+
+    @handles(CancelPeriodicTimeout)
+    def on_cancel_periodic(self, request: CancelPeriodicTimeout) -> None:
+        self._wheel.cancel(request.timeout_id)

@@ -1,0 +1,132 @@
+"""A shared timer wheel: one thread serving every ThreadTimer in a system.
+
+The wheel is a min-heap of deadlines drained by a single daemon thread.
+Callbacks run on the wheel thread; they are expected to only trigger events
+(component enqueueing is thread-safe) and return quickly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable, Optional
+
+
+class TimerWheel:
+    """Heap-based timer service shared by all timer components of a system."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._heap: list[tuple[float, int, "_Entry"]] = []
+        self._entries: dict[int, "_Entry"] = {}
+        self._sequence = itertools.count()
+        self._condition = threading.Condition()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # ---------------------------------------------------------------- control
+
+    def ensure_started(self) -> None:
+        with self._condition:
+            if self._running:
+                return
+            self._running = True
+            self._thread = threading.Thread(
+                target=self._loop, name="kompics-timer-wheel", daemon=True
+            )
+            self._thread.start()
+
+    def close(self) -> None:
+        with self._condition:
+            self._running = False
+            self._condition.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        period: Optional[float] = None,
+        key: Optional[int] = None,
+    ) -> int:
+        """Schedule ``callback`` after ``delay`` seconds; repeat at ``period``.
+
+        Returns a key usable with :meth:`cancel`.
+        """
+        self.ensure_started()
+        with self._condition:
+            entry_key = key if key is not None else next(self._sequence) + 1_000_000_000
+            entry = _Entry(callback, period, entry_key)
+            self._entries[entry_key] = entry
+            heapq.heappush(
+                self._heap,
+                (self._clock.now() + max(0.0, delay), next(self._sequence), entry),
+            )
+            self._condition.notify()
+        return entry_key
+
+    def cancel(self, key: int) -> bool:
+        """Cancel a scheduled callback; returns False if already fired/unknown."""
+        with self._condition:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            entry.cancelled = True
+            return True
+
+    @property
+    def pending(self) -> int:
+        with self._condition:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------- loop
+
+    def _loop(self) -> None:
+        while True:
+            with self._condition:
+                if not self._running:
+                    return
+                if not self._heap:
+                    self._condition.wait(timeout=0.2)
+                    continue
+                deadline, _seq, entry = self._heap[0]
+                now = self._clock.now()
+                if deadline > now:
+                    self._condition.wait(timeout=min(deadline - now, 0.2))
+                    continue
+                heapq.heappop(self._heap)
+                if entry.cancelled:
+                    continue
+                if entry.period is not None:
+                    heapq.heappush(
+                        self._heap, (deadline + entry.period, next(self._sequence), entry)
+                    )
+                else:
+                    # One-shot: drop the bookkeeping entry.
+                    self._entries.pop(entry.key, None)
+            try:
+                entry.callback()
+            except Exception:  # noqa: BLE001 - timer thread must survive
+                import logging
+
+                logging.getLogger("repro.timer").exception("timer callback raised")
+
+
+class _Entry:
+    __slots__ = ("callback", "period", "cancelled", "key")
+
+    def __init__(
+        self, callback: Callable[[], None], period: Optional[float], key: int
+    ) -> None:
+        self.callback = callback
+        self.period = period
+        self.cancelled = False
+        self.key = key
+
+    def __lt__(self, other: object) -> bool:  # heap tiebreaker safety
+        return id(self) < id(other)

@@ -1,0 +1,123 @@
+"""Unit tests: ring key space arithmetic and the register store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cats.key import KeySpace
+from repro.cats.store import LocalStore, Record
+from repro.cats.workload import WorkloadGenerator, WorkloadSpec
+
+SPACE = KeySpace(bits=8)  # a small ring: 0..255
+
+
+class TestKeySpace:
+    def test_size_and_normalize(self):
+        assert SPACE.size == 256
+        assert SPACE.normalize(300) == 44
+        assert SPACE.normalize(-1) == 255
+
+    def test_hash_key_deterministic_and_in_range(self):
+        a = SPACE.hash_key("alice")
+        assert a == SPACE.hash_key("alice")
+        assert 0 <= a < 256
+        assert SPACE.hash_key(b"alice") == a
+        assert SPACE.hash_key(300) == 44
+
+    def test_plain_interval(self):
+        assert SPACE.in_interval(5, 3, 10)
+        assert SPACE.in_interval(10, 3, 10)  # end inclusive
+        assert not SPACE.in_interval(3, 3, 10)  # start exclusive
+        assert not SPACE.in_interval(11, 3, 10)
+
+    def test_wraparound_interval(self):
+        assert SPACE.in_interval(250, 200, 10)
+        assert SPACE.in_interval(5, 200, 10)
+        assert SPACE.in_interval(10, 200, 10)
+        assert not SPACE.in_interval(100, 200, 10)
+        assert not SPACE.in_interval(200, 200, 10)
+
+    def test_degenerate_interval_is_whole_ring(self):
+        for key in (0, 7, 42, 255):
+            assert SPACE.in_interval(key, 7, 7)
+
+    def test_distance(self):
+        assert SPACE.distance(10, 20) == 10
+        assert SPACE.distance(250, 10) == 16
+        assert SPACE.distance(5, 5) == 0
+
+
+class TestLocalStore:
+    def test_read_missing(self):
+        assert LocalStore(SPACE).read(1) is None
+
+    def test_apply_then_read(self):
+        store = LocalStore(SPACE)
+        assert store.apply(Record(1, 1, 10, "a"))
+        record = store.read(1)
+        assert record.value == "a" and record.stamp == (1, 10)
+
+    def test_stale_writes_rejected(self):
+        store = LocalStore(SPACE)
+        store.apply(Record(1, 5, 10, "new"))
+        assert not store.apply(Record(1, 4, 99, "older ts"))
+        assert not store.apply(Record(1, 5, 10, "same stamp"))
+        assert store.read(1).value == "new"
+        assert store.stale_rejected == 2
+
+    def test_writer_id_breaks_timestamp_ties(self):
+        store = LocalStore(SPACE)
+        store.apply(Record(1, 5, 10, "low writer"))
+        assert store.apply(Record(1, 5, 11, "high writer"))
+        assert store.read(1).value == "high writer"
+
+    def test_merge_is_order_insensitive(self):
+        records = [Record(1, t, t, f"v{t}") for t in (3, 1, 2)]
+        a, b = LocalStore(SPACE), LocalStore(SPACE)
+        a.apply_all(records)
+        b.apply_all(reversed(records))
+        assert a.read(1).value == b.read(1).value == "v3"
+
+    def test_records_in_range_wraps(self):
+        store = LocalStore(SPACE)
+        for key in (5, 100, 250):
+            store.apply(Record(key, 1, 1, key))
+        in_range = {r.key for r in store.records_in_range(200, 10)}
+        assert in_range == {5, 250}
+
+    def test_drop_outside(self):
+        store = LocalStore(SPACE)
+        for key in (5, 100, 250):
+            store.apply(Record(key, 1, 1, key))
+        dropped = store.drop_outside(200, 10)
+        assert dropped == 1
+        assert store.read(100) is None
+        assert len(store) == 2
+
+
+class TestWorkload:
+    def test_generator_is_deterministic(self):
+        spec = WorkloadSpec(key_count=16, read_ratio=0.5, value_size=8)
+        a = list(WorkloadGenerator(spec, 16, seed=3).ops(100))
+        b = list(WorkloadGenerator(spec, 16, seed=3).ops(100))
+        assert a == b
+
+    def test_read_ratio_respected(self):
+        spec = WorkloadSpec(key_count=16, read_ratio=0.9)
+        ops = list(WorkloadGenerator(spec, 16, seed=1).ops(2000))
+        reads = sum(1 for op in ops if op.kind == "get")
+        assert 0.85 < reads / len(ops) < 0.95
+
+    def test_zipf_skews_popularity(self):
+        spec = WorkloadSpec(key_count=64, read_ratio=1.0, zipf_s=1.2)
+        generator = WorkloadGenerator(spec, 16, seed=2)
+        counts: dict[int, int] = {}
+        for op in generator.ops(4000):
+            counts[op.key] = counts.get(op.key, 0) + 1
+        hottest = max(counts.values())
+        assert hottest > 4000 / 64 * 4  # far above the uniform share
+
+    def test_value_size(self):
+        spec = WorkloadSpec(key_count=4, read_ratio=0.0, value_size=100)
+        op = next(WorkloadGenerator(spec, 16, seed=1).ops(1))
+        assert op.kind == "put" and len(op.value) == 100

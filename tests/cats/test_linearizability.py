@@ -1,0 +1,216 @@
+"""Linearizability: checker unit tests + CATS end-to-end verification.
+
+The paper claims CATS guarantees "linearizable consistency in partially
+synchronous, lossy, partitionable and dynamic networks".  These tests
+verify the claim mechanically: run the store under concurrency, message
+loss and churn in deterministic simulation, record the operation history,
+and check it with a WGL linearizability checker.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cats import (
+    CatsConfig,
+    CatsSimulator,
+    Experiment,
+    FailNode,
+    GetCmd,
+    JoinNode,
+    KeySpace,
+    PutCmd,
+)
+from repro.consistency import History, NOT_FOUND, Operation, check_history, check_register
+from repro.simulation import Simulation, emulator_of
+
+from tests.kit import Scaffold, inject
+
+
+# ------------------------------------------------------------ checker unit
+
+
+def op(op_id, kind, start, end, value=None, result=None, key=1):
+    return Operation(
+        op_id=op_id, process=0, kind=kind, key=key, value=value, result=result,
+        invoke_time=start, response_time=end,
+    )
+
+
+class TestChecker:
+    def test_empty_history_is_linearizable(self):
+        assert check_register([]).linearizable
+
+    def test_sequential_put_get(self):
+        history = [
+            op(1, "put", 0, 1, value="a"),
+            op(2, "get", 2, 3, result="a"),
+        ]
+        assert check_register(history).linearizable
+
+    def test_get_of_old_value_after_put_completed_is_rejected(self):
+        history = [
+            op(1, "put", 0, 1, value="a"),
+            op(2, "put", 2, 3, value="b"),
+            op(3, "get", 4, 5, result="a"),  # stale read: not linearizable
+        ]
+        assert not check_register(history).linearizable
+
+    def test_concurrent_put_allows_either_order(self):
+        history = [
+            op(1, "put", 0, 10, value="a"),
+            op(2, "put", 0, 10, value="b"),
+            op(3, "get", 11, 12, result="a"),
+        ]
+        assert check_register(history).linearizable
+        history[2] = op(3, "get", 11, 12, result="b")
+        assert check_register(history).linearizable
+
+    def test_read_must_not_travel_back_in_time(self):
+        # get1 sees "b"; a later (non-overlapping) get2 sees "a": illegal.
+        history = [
+            op(1, "put", 0, 1, value="a"),
+            op(2, "put", 0, 20, value="b"),  # concurrent with everything
+            op(3, "get", 2, 3, result="b"),
+            op(4, "get", 4, 5, result="a"),
+        ]
+        assert not check_register(history).linearizable
+
+    def test_initial_state_is_not_found(self):
+        assert check_register([op(1, "get", 0, 1, result=NOT_FOUND)]).linearizable
+        assert not check_register([op(1, "get", 0, 1, result="ghost")]).linearizable
+
+    def test_pending_put_may_or_may_not_take_effect(self):
+        pending = op(1, "put", 0, math.inf, value="a")
+        sees_it = [pending, op(2, "get", 5, 6, result="a")]
+        misses_it = [pending, op(3, "get", 5, 6, result=NOT_FOUND)]
+        assert check_register(sees_it).linearizable
+        assert check_register(misses_it).linearizable
+
+    def test_pending_put_cannot_flip_flop(self):
+        history = [
+            op(1, "put", 0, math.inf, value="a"),
+            op(2, "get", 5, 6, result="a"),
+            op(3, "get", 7, 8, result=NOT_FOUND),  # took effect, then vanished?
+        ]
+        assert not check_register(history).linearizable
+
+    def test_check_history_isolates_keys(self):
+        history = History()
+        history.invoke(1, "p", "put", key=1, value="x", time=0)
+        history.respond(1, 1, result=True)
+        history.invoke(2, "p", "get", key=2, time=2)
+        history.respond(2, 3, result=NOT_FOUND)
+        assert check_history(history).linearizable
+
+
+# --------------------------------------------------------- CATS end-to-end
+
+
+def make_world(seed, loss_rate=0.0):
+    simulation = Simulation(seed=seed)
+    built = {}
+
+    def build(scaffold):
+        built["sim"] = scaffold.create(
+            CatsSimulator,
+            CatsConfig(
+                key_space=KeySpace(bits=16),
+                replication_degree=3,
+                stabilize_period=0.25,
+                fd_interval=0.5,
+                op_timeout=1.0,
+            ),
+        )
+
+    simulation.bootstrap(Scaffold, build)
+    if loss_rate:
+        emulator_of(simulation.system).loss_rate = loss_rate
+    return simulation, built["sim"].definition
+
+
+def drive(simulation, sim, command):
+    inject(sim.core.component, Experiment, command)
+
+
+def test_cats_history_is_linearizable_under_concurrency():
+    simulation, sim = make_world(seed=21)
+    for node_id in (4000, 20000, 36000, 52000):
+        drive(simulation, sim, JoinNode(node_id))
+        simulation.run(until=simulation.now() + 1.0)
+    simulation.run(until=simulation.now() + 6.0)
+
+    rng = simulation.system.random
+    hot_keys = [111, 222]
+    # Fire bursts of concurrent operations from random coordinators without
+    # waiting for completions.
+    for burst in range(15):
+        for _ in range(3):
+            issuer = rng.randrange(0, 1 << 16)
+            key = rng.choice(hot_keys)
+            if rng.random() < 0.5:
+                drive(simulation, sim, PutCmd(issuer, key, f"v{burst}-{rng.randrange(100)}"))
+            else:
+                drive(simulation, sim, GetCmd(issuer, key))
+        simulation.run(until=simulation.now() + 0.2)
+    simulation.run(until=simulation.now() + 10.0)
+
+    assert sim.stats.gets_completed + sim.stats.puts_completed >= 30
+    result = check_history(sim.history)
+    assert result.linearizable, result.reason
+
+
+def test_cats_history_is_linearizable_under_message_loss():
+    simulation, sim = make_world(seed=22, loss_rate=0.05)
+    for node_id in (4000, 20000, 36000, 52000):
+        drive(simulation, sim, JoinNode(node_id))
+        simulation.run(until=simulation.now() + 1.5)
+    simulation.run(until=simulation.now() + 8.0)
+
+    rng = simulation.system.random
+    for burst in range(12):
+        for _ in range(2):
+            issuer = rng.randrange(0, 1 << 16)
+            if rng.random() < 0.5:
+                drive(simulation, sim, PutCmd(issuer, 999, f"w{burst}-{rng.randrange(100)}"))
+            else:
+                drive(simulation, sim, GetCmd(issuer, 999))
+        simulation.run(until=simulation.now() + 0.4)
+    simulation.run(until=simulation.now() + 15.0)
+
+    assert sim.stats.gets_completed + sim.stats.puts_completed >= 15
+    result = check_history(sim.history)
+    assert result.linearizable, result.reason
+
+
+def test_cats_history_is_linearizable_under_churn():
+    simulation, sim = make_world(seed=23)
+    ids = [4000, 16000, 28000, 40000, 52000, 64000]
+    for node_id in ids:
+        drive(simulation, sim, JoinNode(node_id))
+        simulation.run(until=simulation.now() + 1.5)
+    simulation.run(until=simulation.now() + 8.0)
+
+    rng = simulation.system.random
+    key = 12321
+    for burst in range(10):
+        if burst == 4:
+            # Kill the key's primary mid-workload.
+            drive(simulation, sim, FailNode(key))
+        if burst == 7:
+            drive(simulation, sim, JoinNode(14000))
+        for _ in range(2):
+            issuer = rng.randrange(0, 1 << 16)
+            if rng.random() < 0.5:
+                drive(simulation, sim, PutCmd(issuer, key, f"c{burst}-{rng.randrange(100)}"))
+            else:
+                drive(simulation, sim, GetCmd(issuer, key))
+        simulation.run(until=simulation.now() + 1.0)
+    simulation.run(until=simulation.now() + 20.0)
+
+    assert sim.stats.failures == 1
+    assert sim.stats.gets_completed + sim.stats.puts_completed >= 10
+    result = check_history(sim.history)
+    assert result.linearizable, result.reason

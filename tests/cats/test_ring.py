@@ -1,0 +1,208 @@
+"""CatsRing: joins, stabilization, lookups, churn (simulated time)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentDefinition, handles
+from repro.cats.events import (
+    Ring,
+    RingJoin,
+    RingLookup,
+    RingLookupResponse,
+    RingNeighbors,
+    RingReady,
+)
+from repro.cats.key import KeySpace
+from repro.cats.ring import CatsRing
+from repro.protocols.failure_detector import FailureDetector, PingFailureDetector
+from repro.simulation import Simulation
+
+from tests.kit import Scaffold, inject
+from tests.sim_kit import SimHost, sim_address
+
+SPACE = KeySpace(bits=16)
+
+
+class RingObserver(ComponentDefinition):
+    def __init__(self) -> None:
+        super().__init__()
+        self.ring = self.requires(Ring)
+        self.ready = False
+        self.neighbors: RingNeighbors | None = None
+        self.lookups: dict[int, RingLookupResponse] = {}
+        self.subscribe(self.on_ready, self.ring)
+        self.subscribe(self.on_neighbors, self.ring)
+        self.subscribe(self.on_lookup_response, self.ring)
+
+    @handles(RingReady)
+    def on_ready(self, _event: RingReady) -> None:
+        self.ready = True
+
+    @handles(RingNeighbors)
+    def on_neighbors(self, event: RingNeighbors) -> None:
+        self.neighbors = event
+
+    @handles(RingLookupResponse)
+    def on_lookup_response(self, event: RingLookupResponse) -> None:
+        self.lookups[event.op_id] = event
+
+    def lookup(self, key: int, op_id: int) -> None:
+        self.trigger(RingLookup(key, op_id=op_id), self.ring)
+
+
+class RingWorld:
+    """A growable simulated ring for tests."""
+
+    def __init__(self, seed=3):
+        self.simulation = Simulation(seed=seed)
+        self.nodes: dict[int, dict] = {}
+        self.scaffold = None
+        built = {}
+
+        def build(scaffold):
+            built["scaffold"] = scaffold
+
+        self.simulation.bootstrap(Scaffold, build)
+        self.scaffold = built["scaffold"]
+
+    def add_node(self, node_id: int, seeds=()):
+        address = sim_address(node_id)
+
+        def builder(host, net, timer):
+            fd = host.create(PingFailureDetector, address, interval=1.0)
+            host.wire_network_and_timer(fd)
+            ring = host.create(CatsRing, address, SPACE, stabilize_period=0.5)
+            host.wire_network_and_timer(ring)
+            host.connect(fd.provided(FailureDetector), ring.required(FailureDetector))
+            observer = host.create(RingObserver)
+            host.connect(ring.provided(Ring), observer.required(Ring))
+            self.nodes[node_id] = {
+                "host": host,
+                "ring": ring.definition,
+                "observer": observer.definition,
+                "address": address,
+            }
+
+        host = self.scaffold.create(SimHost, address, builder)
+        self.scaffold.start_child(host)
+        self.nodes[node_id]["component"] = host
+        inject(self.nodes[node_id]["ring"].core.component, Ring, RingJoin(tuple(seeds)))
+        return self.nodes[node_id]
+
+    def kill(self, node_id: int) -> None:
+        self.nodes[node_id]["host"].core.destroy()
+        del self.nodes[node_id]
+
+    def run(self, until: float) -> None:
+        self.simulation.run(until=until)
+
+    # ------------------------------------------------------------ assertions
+
+    def ring_is_consistent(self) -> bool:
+        """Every node's successor is the next alive id clockwise."""
+        ids = sorted(self.nodes)
+        for index, node_id in enumerate(ids):
+            expected_successor = ids[(index + 1) % len(ids)]
+            ring = self.nodes[node_id]["ring"]
+            actual = ring.successors[0].node_id if ring.successors else None
+            if len(ids) == 1:
+                return actual in (None, node_id)
+            if actual != expected_successor:
+                return False
+        return True
+
+
+def test_single_node_ring_owns_everything():
+    world = RingWorld()
+    node = world.add_node(100)
+    world.run(until=1.0)
+    assert node["observer"].ready
+    assert node["ring"].owns(0)
+    assert node["ring"].owns(65535)
+
+
+def test_two_nodes_form_a_ring():
+    world = RingWorld()
+    world.add_node(100)
+    world.run(until=1.0)
+    world.add_node(200, seeds=[sim_address(100)])
+    world.run(until=10.0)
+    assert world.ring_is_consistent()
+    a, b = world.nodes[100]["ring"], world.nodes[200]["ring"]
+    assert a.predecessor.node_id == 200
+    assert b.predecessor.node_id == 100
+    assert a.owns(50) and a.owns(100)
+    assert b.owns(150) and b.owns(200)
+    assert not a.owns(150)
+
+
+@pytest.mark.parametrize("count", [8, 16])
+def test_sequential_joins_converge(count):
+    world = RingWorld()
+    ids = [1000 * (i + 1) for i in range(count)]
+    world.add_node(ids[0])
+    world.run(until=1.0)
+    for node_id in ids[1:]:
+        world.add_node(node_id, seeds=[sim_address(ids[0])])
+        world.run(until=world.simulation.now() + 2.0)
+    world.run(until=world.simulation.now() + 20.0)
+    assert world.ring_is_consistent()
+    # Successor lists chain correctly.
+    for node_id in ids:
+        succs = world.nodes[node_id]["ring"].successors
+        assert len(succs) >= min(4, count - 1) - 1
+
+
+def test_lookups_route_to_owner():
+    world = RingWorld()
+    ids = [5000, 15000, 30000, 45000, 60000]
+    world.add_node(ids[0])
+    world.run(until=1.0)
+    for node_id in ids[1:]:
+        world.add_node(node_id, seeds=[sim_address(ids[0])])
+        world.run(until=world.simulation.now() + 2.0)
+    world.run(until=world.simulation.now() + 10.0)
+    assert world.ring_is_consistent()
+
+    observer = world.nodes[ids[0]]["observer"]
+    cases = {
+        1: 5000,       # wraps below the smallest id
+        5000: 5000,    # exact hit
+        5001: 15000,
+        29999: 30000,
+        60001: 5000,   # wraps past the largest id
+    }
+    for op_id, (key, expected) in enumerate(cases.items(), start=1):
+        observer.lookup(key, op_id=op_id)
+    world.run(until=world.simulation.now() + 5.0)
+    for op_id, (key, expected) in enumerate(cases.items(), start=1):
+        assert observer.lookups[op_id].responsible.node_id == expected, key
+
+
+def test_ring_heals_after_node_failure():
+    world = RingWorld()
+    ids = [10000, 20000, 30000, 40000]
+    world.add_node(ids[0])
+    world.run(until=1.0)
+    for node_id in ids[1:]:
+        world.add_node(node_id, seeds=[sim_address(ids[0])])
+        world.run(until=world.simulation.now() + 2.0)
+    world.run(until=world.simulation.now() + 10.0)
+    assert world.ring_is_consistent()
+
+    world.kill(20000)
+    world.run(until=world.simulation.now() + 30.0)
+    assert world.ring_is_consistent()
+    # 30000 absorbed the failed node's range.
+    assert world.nodes[30000]["ring"].owns(15000)
+
+
+def test_concurrent_joins_eventually_converge():
+    world = RingWorld()
+    world.add_node(1000)
+    world.run(until=1.0)
+    for node_id in (9000, 17000, 25000, 33000, 41000):
+        world.add_node(node_id, seeds=[sim_address(1000)])
+    world.run(until=world.simulation.now() + 40.0)
+    assert world.ring_is_consistent()

@@ -1,0 +1,94 @@
+"""The per-node web application (paper Fig 10/11) and node status plumbing."""
+
+from __future__ import annotations
+
+import json
+
+from repro import ComponentDefinition, handles
+from repro.cats import CatsConfig, CatsNode, KeySpace
+from repro.network import Network, local_address
+from repro.protocols.web import Web, WebRequest, WebResponse
+from repro.simulation import Simulation
+from repro.timer import Timer
+
+from tests.kit import Scaffold
+from tests.sim_kit import SimHost, sim_address
+
+
+class WebProbe(ComponentDefinition):
+    def __init__(self) -> None:
+        super().__init__()
+        self.web = self.requires(Web)
+        self.responses: list[WebResponse] = []
+        self.subscribe(self.on_response, self.web)
+
+    @handles(WebResponse)
+    def on_response(self, response: WebResponse) -> None:
+        self.responses.append(response)
+
+    def fetch(self, path: str, request_id: int) -> None:
+        self.trigger(WebRequest(path=path, request_id=request_id), self.web)
+
+
+def _node_world(node_count=2):
+    simulation = Simulation(seed=4)
+    built = {}
+
+    def make_builder(address, seeds):
+        def builder(host, net, timer):
+            node = host.create(
+                CatsNode,
+                address,
+                CatsConfig(key_space=KeySpace(bits=16), seeds=seeds,
+                           stabilize_period=0.25),
+            )
+            host.wire_network_and_timer(node)
+            probe = host.create(WebProbe)
+            host.connect(node.provided(Web), probe.required(Web))
+            built[address.node_id] = {"node": node, "probe": probe.definition}
+
+        return builder
+
+    def build(scaffold):
+        seeds = ()
+        for n in range(node_count):
+            address = sim_address((n + 1) * 10_000)
+            scaffold.create(SimHost, address, make_builder(address, seeds))
+            seeds = (sim_address(10_000),)
+
+    simulation.bootstrap(Scaffold, build)
+    simulation.run(until=10.0)
+    return simulation, built
+
+
+def test_node_serves_json_status():
+    simulation, built = _node_world()
+    probe = built[10_000]["probe"]
+    probe.fetch("/status.json", request_id=1)
+    simulation.run(until=simulation.now() + 1.0)
+    assert len(probe.responses) == 1
+    payload = json.loads(probe.responses[0].body)
+    assert any(name.startswith("ring") for name in payload)
+    assert any(name.startswith("abd") for name in payload)
+    ring = next(v for k, v in payload.items() if k.startswith("ring"))
+    assert ring["joined"] is True
+
+
+def test_node_serves_html_with_neighbor_links():
+    simulation, built = _node_world()
+    probe = built[20_000]["probe"]
+    probe.fetch("/", request_id=2)
+    simulation.run(until=simulation.now() + 1.0)
+    html = probe.responses[0].body
+    assert "CATS node" in html
+    assert "10000" in html  # hyperlink to the ring neighbor
+    assert "<a href=" in html
+
+
+def test_concurrent_web_requests_all_answered():
+    simulation, built = _node_world()
+    probe = built[10_000]["probe"]
+    for request_id in range(1, 6):
+        probe.fetch("/status.json", request_id=request_id)
+    simulation.run(until=simulation.now() + 1.0)
+    assert sorted(r.request_id for r in probe.responses) == [1, 2, 3, 4, 5]

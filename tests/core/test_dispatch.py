@@ -1,0 +1,257 @@
+"""Publish-subscribe event dissemination (paper sections 2.2-2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentDefinition, Event, PortType, Start, handles
+from repro.core.errors import PortTypeError
+
+from tests.kit import (
+    Collector,
+    EchoServer,
+    FancyPing,
+    Ping,
+    PingPort,
+    Pong,
+    Scaffold,
+    make_system,
+    settle,
+)
+
+
+def test_request_and_response_travel_across_one_channel():
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["client"] = scaffold.create(Collector, count=3)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    assert [p.n for p in built["server"].definition.pings] == [0, 1, 2]
+    assert [p.n for p in built["client"].definition.pongs] == [0, 1, 2]
+    system.shutdown()
+
+
+def test_event_fanout_to_multiple_channels():
+    """Paper Fig 6: one triggered event is forwarded by every channel."""
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["c1"] = scaffold.create(Collector, count=1)
+        built["c2"] = scaffold.create(Collector, count=0)
+        for key in ("c1", "c2"):
+            scaffold.connect(
+                built["server"].provided(PingPort), built[key].required(PingPort)
+            )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    # c1 sent one Ping; the Pong fans out to both c1 and c2.
+    assert [p.n for p in built["c1"].definition.pongs] == [0]
+    assert [p.n for p in built["c2"].definition.pongs] == [0]
+    system.shutdown()
+
+
+def test_multiple_handlers_on_one_port_execute_in_subscription_order():
+    """Paper Fig 7: all compatible handlers run, sequentially."""
+    order = []
+
+    class TwoHandlers(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.requires(PingPort)
+            self.subscribe(self.first, self.port, event_type=Pong)
+            self.subscribe(self.second, self.port, event_type=Pong)
+
+        def first(self, event):
+            order.append("first")
+
+        def second(self, event):
+            order.append("second")
+
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["sink"] = scaffold.create(TwoHandlers)
+        built["driver"] = scaffold.create(Collector, count=1)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["sink"].required(PingPort)
+        )
+        scaffold.connect(
+            built["server"].provided(PingPort), built["driver"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    assert order == ["first", "second"]
+    system.shutdown()
+
+
+def test_handler_receives_event_subtypes():
+    seen = []
+
+    class SubtypeAware(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.provides(PingPort)
+            self.subscribe(self.on_ping, self.port)
+
+        @handles(Ping)
+        def on_ping(self, ping):
+            seen.append(type(ping).__name__)
+
+    class Sender(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.requires(PingPort)
+            self.subscribe(self.on_start, self.control)
+
+        @handles(Start)
+        def on_start(self, _):
+            self.trigger(Ping(1), self.port)
+            self.trigger(FancyPing(2), self.port)
+
+    system = make_system()
+
+    def build(scaffold):
+        server = scaffold.create(SubtypeAware)
+        sender = scaffold.create(Sender)
+        scaffold.connect(server.provided(PingPort), sender.required(PingPort))
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    assert seen == ["Ping", "FancyPing"]
+    system.shutdown()
+
+
+def test_trigger_of_disallowed_event_type_raises():
+    class Rogue(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.requires(PingPort)
+
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["rogue"] = scaffold.create(Rogue)
+
+    system.bootstrap(Scaffold, build)
+    rogue = built["rogue"].definition
+    with pytest.raises(PortTypeError):
+        rogue.trigger(Pong(1), rogue.port)  # Pong is outgoing only for providers
+    system.shutdown()
+
+
+def test_delegation_through_composite_inside_faces():
+    """A composite provides PingPort and delegates to an inner EchoServer."""
+
+    class CompositeServer(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.provides(PingPort)
+            self.inner = self.create(EchoServer)
+            # Parent's inside face plays the requirer role toward the child.
+            self.connect(self.inner.provided(PingPort), self.port)
+
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(CompositeServer)
+        built["client"] = scaffold.create(Collector, count=2)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    inner = built["server"].definition.inner
+    assert [p.n for p in inner.definition.pings] == [0, 1]
+    assert [p.n for p in built["client"].definition.pongs] == [0, 1]
+    system.shutdown()
+
+
+def test_required_port_delegation_to_children():
+    """A composite requires PingPort on behalf of an inner Collector."""
+
+    class CompositeClient(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.requires(PingPort)
+            self.inner = self.create(Collector, count=2)
+            self.connect(self.port, self.inner.required(PingPort))
+
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["composite"] = scaffold.create(CompositeClient)
+        scaffold.connect(
+            built["server"].provided(PingPort),
+            built["composite"].required(PingPort),
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    inner = built["composite"].definition.inner
+    assert [p.n for p in inner.definition.pongs] == [0, 1]
+    system.shutdown()
+
+
+def test_unsubscribe_stops_future_deliveries():
+    """Paper section 2.2: the reply-only-once component."""
+
+    class ReplyOnce(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.provides(PingPort)
+            self.replies = 0
+            self.subscribe(self.on_ping, self.port)
+
+        @handles(Ping)
+        def on_ping(self, ping):
+            self.replies += 1
+            self.trigger(Pong(ping.n), self.port)
+            self.unsubscribe(self.on_ping, self.port)
+
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(ReplyOnce)
+        built["client"] = scaffold.create(Collector, count=3)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    assert built["server"].definition.replies == 1
+    assert [p.n for p in built["client"].definition.pongs] == [0]
+    system.shutdown()
+
+
+def test_components_are_oblivious_to_peer_identity():
+    """Loose coupling: an unconnected requirer's triggers go nowhere safely."""
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["client"] = scaffold.create(Collector, count=5)
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    assert built["client"].definition.pongs == []
+    system.shutdown()

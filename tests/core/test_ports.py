@@ -1,0 +1,107 @@
+"""Port types, faces, and connection validation (paper section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentSystem, Direction, Event, PortType
+from repro.core.errors import ConnectionError as KConnectionError
+from repro.core.errors import PortTypeError
+from repro.core.port import check_faces_connectable
+
+from tests.kit import (
+    Collector,
+    EchoServer,
+    FancyPing,
+    Ping,
+    PingPort,
+    Pong,
+    Scaffold,
+    make_system,
+)
+
+
+class TestPortTypeDeclaration:
+    def test_positive_and_negative_sets_are_normalized_to_tuples(self):
+        assert PingPort.positive == (Pong,)
+        assert PingPort.negative == (Ping,)
+
+    def test_non_event_in_declaration_is_rejected(self):
+        with pytest.raises(PortTypeError):
+
+            class Broken(PortType):
+                positive = (int,)
+
+    def test_allowed_honours_event_subtyping(self):
+        assert PingPort.allowed(Direction.NEGATIVE, Ping)
+        assert PingPort.allowed(Direction.NEGATIVE, FancyPing)
+        assert not PingPort.allowed(Direction.POSITIVE, Ping)
+        assert PingPort.allowed(Direction.POSITIVE, Pong)
+
+    def test_direction_resolution_prefers_the_requested_direction(self):
+        class Sym(PortType):
+            positive = (Ping,)
+            negative = (Ping,)
+
+        assert Sym.direction_of(Ping, Direction.POSITIVE) is Direction.POSITIVE
+        assert Sym.direction_of(Ping, Direction.NEGATIVE) is Direction.NEGATIVE
+        assert PingPort.direction_of(Pong, Direction.NEGATIVE) is Direction.POSITIVE
+        assert PingPort.direction_of(Event, Direction.NEGATIVE) is None
+
+
+class TestFaceGeometry:
+    @pytest.fixture()
+    def faces(self):
+        system = make_system()
+        built = {}
+
+        def build(scaffold):
+            built["server"] = scaffold.create(EchoServer)
+            built["client"] = scaffold.create(Collector)
+
+        system.bootstrap(Scaffold, build)
+        provided = built["server"].core.port(PingPort, provided=True)
+        required = built["client"].core.port(PingPort, provided=False)
+        yield provided, required
+        system.shutdown()
+
+    def test_incoming_directions(self, faces):
+        provided, required = faces
+        assert provided.inside.incoming is Direction.NEGATIVE
+        assert provided.outside.incoming is Direction.POSITIVE
+        assert required.inside.incoming is Direction.POSITIVE
+        assert required.outside.incoming is Direction.NEGATIVE
+
+    def test_channel_roles(self, faces):
+        provided, required = faces
+        assert provided.outside.emits is Direction.POSITIVE
+        assert required.outside.emits is Direction.NEGATIVE
+        # Inside faces play the opposite role, enabling delegation channels.
+        assert provided.inside.emits is Direction.NEGATIVE
+        assert required.inside.emits is Direction.POSITIVE
+
+    def test_connectable_orders_provider_first(self, faces):
+        provided, required = faces
+        provider, requirer = check_faces_connectable(
+            required.outside, provided.outside
+        )
+        assert provider is provided.outside
+        assert requirer is required.outside
+
+    def test_same_role_faces_cannot_connect(self, faces):
+        provided, _required = faces
+        with pytest.raises(KConnectionError):
+            check_faces_connectable(provided.outside, provided.outside)
+
+    def test_different_port_types_cannot_connect(self, faces):
+        provided, required = faces
+
+        class Other(PortType):
+            positive = (Pong,)
+            negative = (Ping,)
+
+        assert Other is not PingPort
+        # Build a fake face of another type by borrowing the control port.
+        control = provided.owner.control_port
+        with pytest.raises(KConnectionError):
+            check_faces_connectable(provided.outside, control.outside)

@@ -1,0 +1,110 @@
+"""Fault handling + reconfiguration together: supervisor-style replacement.
+
+Paper section 2.5: "A composite component may subscribe a Fault handler to
+the control port of its subcomponents.  The component can then replace the
+faulty subcomponent with a new instance (through dynamic reconfiguration)."
+"""
+
+from __future__ import annotations
+
+from repro import ComponentDefinition, Fault, LifecycleState, handles
+from repro.core.reconfig import replace_component
+
+from tests.kit import Collector, Ping, PingPort, Pong, Scaffold, make_system, settle
+
+
+class FlakyServer(ComponentDefinition):
+    """Crashes on a poisoned ping; otherwise echoes; state survives swaps."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.provides(PingPort)
+        self.served = 0
+        self.subscribe(self.on_ping, self.port)
+
+    @handles(Ping)
+    def on_ping(self, ping: Ping) -> None:
+        if ping.n == 13:
+            raise RuntimeError("unlucky ping")
+        self.served += 1
+        self.trigger(Pong(ping.n), self.port)
+
+    def dump_state(self) -> int:
+        return self.served
+
+    def load_state(self, state) -> None:
+        self.served = int(state)
+
+
+class Supervisor(ComponentDefinition):
+    """Replaces the flaky child with a fresh instance on every fault."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.child = self.create(FlakyServer)
+        self.replacements = 0
+        self.subscribe(self.on_fault, self.child.control())
+
+    @handles(Fault)
+    def on_fault(self, fault: Fault) -> None:
+        self.replacements += 1
+        old = self.child
+        self.child = replace_component(self, old, FlakyServer)
+        # Re-supervise the replacement.
+        self.subscribe(self.on_fault, self.child.control())
+
+
+def test_supervisor_replaces_faulty_child_and_service_continues():
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["supervisor"] = scaffold.create(Supervisor)
+        built["client"] = scaffold.create(Collector, count=0)
+        scaffold.connect(
+            built["supervisor"].definition.child.provided(PingPort),
+            built["client"].required(PingPort),
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    supervisor = built["supervisor"].definition
+    client = built["client"].definition
+
+    for n in (1, 2, 13, 4, 5):  # 13 crashes the first instance
+        client.trigger(Ping(n), client.port)
+    settle(system)
+
+    assert supervisor.replacements == 1
+    # Channels were migrated to the replacement: later pings are served.
+    answered = sorted(p.n for p in client.pongs)
+    assert answered == [1, 2, 4, 5]
+    # The poisoned event died with the old instance; the counter carried over.
+    assert supervisor.child.definition.served == 4
+    assert supervisor.child.state is LifecycleState.ACTIVE
+
+
+def test_supervisor_handles_repeated_faults():
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["supervisor"] = scaffold.create(Supervisor)
+        built["client"] = scaffold.create(Collector, count=0)
+        scaffold.connect(
+            built["supervisor"].definition.child.provided(PingPort),
+            built["client"].required(PingPort),
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    supervisor = built["supervisor"].definition
+    client = built["client"].definition
+
+    for round_index in range(3):
+        client.trigger(Ping(13), client.port)
+        client.trigger(Ping(round_index), client.port)
+        settle(system)
+
+    assert supervisor.replacements == 3
+    assert sorted(p.n for p in client.pongs) == [0, 1, 2]

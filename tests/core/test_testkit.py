@@ -1,0 +1,158 @@
+"""The component-testing harness (paper section 3: unit-testing components)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import handles
+from repro.core.errors import ConfigurationError
+from repro.network import Network, local_address
+from repro.protocols.failure_detector import (
+    FailureDetector,
+    FdPing,
+    FdPong,
+    MonitorNode,
+    PingFailureDetector,
+    Restore,
+    StopMonitoringNode,
+    Suspect,
+)
+from repro.protocols.overlay import CyclonOverlay, IntroducePeers, NodeSampling, Sample
+from repro.protocols.overlay.cyclon import ShuffleRequest
+from repro.testkit import ComponentHarness
+
+from tests.kit import EchoServer, Ping, PingPort, Pong
+
+ME = local_address(1, node_id=1)
+PEER = local_address(2, node_id=2)
+
+
+class TestHarnessBasics:
+    def test_probe_roundtrip_on_a_provided_port(self):
+        harness = ComponentHarness(EchoServer)
+        probe = harness.probe(PingPort)
+        probe.inject(Ping(7))
+        pong = probe.expect(Pong)
+        assert pong.n == 7
+        probe.expect_none()
+        harness.shutdown()
+
+    def test_expect_reports_captured_events_on_failure(self):
+        harness = ComponentHarness(EchoServer)
+        probe = harness.probe(PingPort)
+        with pytest.raises(AssertionError, match="no Pong captured"):
+            probe.expect(Pong)
+        harness.shutdown()
+
+    def test_unknown_port_is_rejected(self):
+        harness = ComponentHarness(EchoServer)
+        with pytest.raises(ConfigurationError):
+            harness.probe(NodeSampling)
+        harness.shutdown()
+
+    def test_faults_are_captured_not_raised(self):
+        from repro import ComponentDefinition
+
+        class Exploding(ComponentDefinition):
+            def __init__(self):
+                super().__init__()
+                self.port = self.provides(PingPort)
+                self.subscribe(self.on_ping, self.port)
+
+            @handles(Ping)
+            def on_ping(self, ping):
+                raise RuntimeError("kaboom")
+
+        harness = ComponentHarness(Exploding)
+        harness.probe(PingPort).inject(Ping(1))
+        assert len(harness.faults) == 1
+        assert isinstance(harness.faults[0].cause, RuntimeError)
+        harness.shutdown()
+
+
+class TestFailureDetectorInIsolation:
+    """The paper's FailureDetector example, unit-tested through probes."""
+
+    def test_monitor_sends_ping_and_silence_suspects(self):
+        harness = ComponentHarness(PingFailureDetector, ME, interval=0.5)
+        network = harness.probe(Network)
+        fd = harness.probe(FailureDetector)
+
+        fd.inject(MonitorNode(PEER))
+        ping = network.expect(FdPing)
+        assert ping.destination == PEER
+
+        # Two silent rounds -> suspect.
+        harness.run(for_=2.0)
+        suspect = fd.expect(Suspect)
+        assert suspect.node == PEER
+        harness.shutdown()
+
+    def test_pong_prevents_suspicion(self):
+        harness = ComponentHarness(PingFailureDetector, ME, interval=0.5)
+        network = harness.probe(Network)
+        fd = harness.probe(FailureDetector)
+        fd.inject(MonitorNode(PEER))
+
+        for _ in range(6):
+            for ping in network.drain(FdPing):
+                network.inject(FdPong(PEER, ME, nonce=ping.nonce))
+            harness.run(for_=0.5)
+        fd.expect_none(Suspect)
+        harness.shutdown()
+
+    def test_restore_after_recovery_widens_interval(self):
+        harness = ComponentHarness(PingFailureDetector, ME, interval=0.5)
+        network = harness.probe(Network)
+        fd = harness.probe(FailureDetector)
+        fd.inject(MonitorNode(PEER))
+        interval_before = harness.definition.interval
+
+        harness.run(for_=2.0)
+        fd.expect(Suspect)
+        for ping in network.drain(FdPing):
+            network.inject(FdPong(PEER, ME, nonce=ping.nonce))
+        harness.run(for_=1.0)
+        fd.expect(Restore)
+        assert harness.definition.interval > interval_before
+        harness.shutdown()
+
+    def test_stop_monitoring_silences_detector(self):
+        harness = ComponentHarness(PingFailureDetector, ME, interval=0.5)
+        fd = harness.probe(FailureDetector)
+        fd.inject(MonitorNode(PEER))
+        fd.inject(StopMonitoringNode(PEER))
+        harness.run(for_=5.0)
+        fd.expect_none()
+        harness.shutdown()
+
+    def test_detector_answers_pings_as_a_server(self):
+        harness = ComponentHarness(PingFailureDetector, ME)
+        network = harness.probe(Network)
+        network.inject(FdPing(PEER, ME, nonce=42))
+        pong = network.expect(FdPong)
+        assert pong.nonce == 42 and pong.destination == PEER
+        harness.shutdown()
+
+
+class TestCyclonInIsolation:
+    def test_shuffle_targets_oldest_peer(self):
+        harness = ComponentHarness(CyclonOverlay, ME, period=1.0, shuffle_size=3)
+        network = harness.probe(Network)
+        sampling = harness.probe(NodeSampling)
+
+        sampling.inject(IntroducePeers((PEER,)))
+        sampling.expect(Sample)
+        harness.run(for_=1.1)
+        shuffle = network.expect(ShuffleRequest)
+        assert shuffle.destination == PEER
+        # Our own address rides along with age 0.
+        assert (ME, 0) in shuffle.entries
+        harness.shutdown()
+
+    def test_empty_view_never_shuffles(self):
+        harness = ComponentHarness(CyclonOverlay, ME, period=0.5)
+        network = harness.probe(Network)
+        harness.run(for_=3.0)
+        network.expect_none()
+        harness.shutdown()

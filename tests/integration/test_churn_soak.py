@@ -1,0 +1,97 @@
+"""Heavy-churn soak: sustained joins/failures with a live workload.
+
+Long-running (marked slow): a CATS cluster absorbs continuous churn while
+serving puts/gets on hot keys; afterwards the ring must be consistent, the
+store must still serve, and the recorded history must be linearizable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cats import (
+    CatsConfig,
+    CatsSimulator,
+    Experiment,
+    FailNode,
+    GetCmd,
+    JoinNode,
+    KeySpace,
+    PutCmd,
+)
+from repro.consistency import check_history
+from repro.simulation import Simulation
+
+from tests.kit import Scaffold, inject
+
+
+@pytest.mark.slow
+def test_sustained_churn_preserves_consistency_and_convergence():
+    simulation = Simulation(seed=77)
+    built = {}
+
+    def build(scaffold):
+        built["sim"] = scaffold.create(
+            CatsSimulator,
+            CatsConfig(
+                key_space=KeySpace(bits=16),
+                replication_degree=3,
+                stabilize_period=0.25,
+                fd_interval=0.5,
+                op_timeout=1.0,
+                max_retries=12,
+            ),
+        )
+
+    simulation.bootstrap(Scaffold, build)
+    sim = built["sim"].definition
+    rng = simulation.system.random
+
+    # Boot 10 nodes.
+    for index in range(10):
+        inject(sim.core.component, Experiment, JoinNode(index * 6_000 + 100))
+        simulation.run(until=simulation.now() + 1.0)
+    simulation.run(until=simulation.now() + 10.0)
+    assert sim.alive_count == 10
+
+    # 40 churn rounds: each round one join or failure plus workload ops.
+    hot_keys = [1_111, 33_333]
+    for round_index in range(40):
+        roll = rng.random()
+        if roll < 0.25 and sim.alive_count < 14:
+            inject(sim.core.component, Experiment, JoinNode(rng.randrange(1 << 16)))
+        elif roll < 0.5 and sim.alive_count > 6:
+            inject(sim.core.component, Experiment, FailNode(rng.randrange(1 << 16)))
+        for _ in range(2):
+            issuer = rng.randrange(1 << 16)
+            key = rng.choice(hot_keys)
+            if rng.random() < 0.4:
+                inject(sim.core.component, Experiment, PutCmd(issuer, key, f"r{round_index}"))
+            else:
+                inject(sim.core.component, Experiment, GetCmd(issuer, key))
+        simulation.run(until=simulation.now() + 2.0)
+
+    # Quiesce, then verify everything.
+    simulation.run(until=simulation.now() + 30.0)
+
+    # 1. The ring converged: every node's successor is the next alive id.
+    alive_ids = sorted(sim.hosts)
+    for index, node_id in enumerate(alive_ids):
+        ring = sim.hosts[node_id].definition.node.definition.ring.definition
+        expected = alive_ids[(index + 1) % len(alive_ids)]
+        assert ring.successors[0].node_id == expected, (node_id, ring.status())
+
+    # 2. The store still serves reads and writes.
+    before = sim.stats.gets_completed
+    inject(sim.core.component, Experiment, GetCmd(alive_ids[0], hot_keys[0]))
+    simulation.run(until=simulation.now() + 5.0)
+    assert sim.stats.gets_completed == before + 1
+
+    # 3. Substantial work actually happened under churn.
+    completed = sim.stats.puts_completed + sim.stats.gets_completed
+    issued = sim.stats.puts_issued + sim.stats.gets_issued
+    assert completed >= issued * 0.8, (completed, issued)
+
+    # 4. The whole history is linearizable.
+    result = check_history(sim.history)
+    assert result.linearizable, result.reason

@@ -1,0 +1,237 @@
+"""Partition tolerance (CP behaviour), the remote API, and bootstrap joins."""
+
+from __future__ import annotations
+
+from repro import ComponentDefinition, handles
+from repro.cats import (
+    CatsClient,
+    CatsConfig,
+    CatsNode,
+    CatsSimulator,
+    Experiment,
+    GetCmd,
+    GetRequest,
+    GetResponse,
+    JoinNode,
+    KeySpace,
+    PutCmd,
+    PutGet,
+    PutRequest,
+    PutResponse,
+    RemoteApiServer,
+)
+from repro.consistency import check_history
+from repro.network import Network, local_address
+from repro.protocols.bootstrap import BootstrapServer
+from repro.simulation import Simulation, emulator_of
+
+from tests.kit import Scaffold, inject
+from tests.sim_kit import SimHost, sim_address
+
+
+def make_world(seed=31):
+    simulation = Simulation(seed=seed)
+    built = {}
+
+    def build(scaffold):
+        built["sim"] = scaffold.create(
+            CatsSimulator,
+            CatsConfig(
+                key_space=KeySpace(bits=16),
+                replication_degree=3,
+                stabilize_period=0.25,
+                fd_interval=0.5,
+                op_timeout=1.0,
+                max_retries=8,
+            ),
+        )
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built["sim"].definition
+
+
+def drive(sim, command):
+    inject(sim.core.component, Experiment, command)
+
+
+class TestPartitionBehaviour:
+    """CATS favours consistency: a minority-side replica group blocks."""
+
+    def _booted(self):
+        simulation, sim = make_world()
+        ids = [8_000, 24_000, 40_000, 56_000]
+        for node_id in ids:
+            drive(sim, JoinNode(node_id))
+            simulation.run(until=simulation.now() + 1.5)
+        simulation.run(until=simulation.now() + 8.0)
+        drive(sim, PutCmd(8_000, 20_000, "pre-partition"))
+        simulation.run(until=simulation.now() + 3.0)
+        assert sim.stats.puts_completed == 1
+        return simulation, sim, ids
+
+    def test_isolated_coordinator_cannot_commit(self):
+        simulation, sim, ids = self._booted()
+        core = emulator_of(simulation.system)
+        # Isolate node 56_000 (not a replica coordinator requirement — any
+        # coordinator must reach a quorum of key 20_000's group).
+        lonely = [sim_address(56_000)]
+        others = [sim_address(n) for n in ids if n != 56_000]
+        core.partition(lonely, others)
+
+        drive(sim, PutCmd(56_000, 20_000, "from minority"))
+        simulation.run(until=simulation.now() + 15.0)
+        # The isolated coordinator cannot reach the replica group: the put
+        # fails rather than committing inconsistently.
+        assert sim.stats.puts_failed == 1
+        assert sim.stats.puts_completed == 1
+
+        # The majority side keeps serving the key.
+        drive(sim, GetCmd(8_000, 20_000))
+        simulation.run(until=simulation.now() + 5.0)
+        assert sim.stats.gets_completed == 1
+
+        core.heal()
+        simulation.run(until=simulation.now() + 10.0)
+        drive(sim, PutCmd(56_000, 20_000, "after heal"))
+        simulation.run(until=simulation.now() + 5.0)
+        assert sim.stats.puts_completed == 2
+        result = check_history(sim.history)
+        assert result.linearizable, result.reason
+
+    def test_history_stays_linearizable_across_partition_cycle(self):
+        simulation, sim, ids = self._booted()
+        core = emulator_of(simulation.system)
+        rng = simulation.system.random
+        side_a = [sim_address(8_000), sim_address(24_000)]
+        side_b = [sim_address(40_000), sim_address(56_000)]
+        core.partition(side_a, side_b)
+        for burst in range(6):
+            issuer = ids[rng.randrange(len(ids))]
+            if rng.random() < 0.5:
+                drive(sim, PutCmd(issuer, 20_000, f"p{burst}"))
+            else:
+                drive(sim, GetCmd(issuer, 20_000))
+            simulation.run(until=simulation.now() + 1.0)
+        core.heal()
+        simulation.run(until=simulation.now() + 20.0)
+        result = check_history(sim.history)
+        assert result.linearizable, result.reason
+
+
+class RemoteApp(ComponentDefinition):
+    """Drives a CatsClient's PutGet port and records responses."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.putget = self.requires(PutGet)
+        self.responses: dict[int, object] = {}
+        self.subscribe(self.on_put, self.putget)
+        self.subscribe(self.on_get, self.putget)
+
+    @handles(PutResponse)
+    def on_put(self, response: PutResponse) -> None:
+        self.responses[response.op_id] = response
+
+    @handles(GetResponse)
+    def on_get(self, response: GetResponse) -> None:
+        self.responses[response.op_id] = response
+
+
+class TestRemoteApiInSimulation:
+    def test_remote_put_get_round_trip(self):
+        simulation = Simulation(seed=17)
+        built = {}
+        config = CatsConfig(key_space=KeySpace(bits=16), replication_degree=3)
+
+        def node_builder(address, seeds):
+            def builder(host, net, timer):
+                node = host.create(
+                    CatsNode, address,
+                    CatsConfig(key_space=KeySpace(bits=16), seeds=seeds,
+                               stabilize_period=0.25),
+                )
+                host.wire_network_and_timer(node)
+                api = host.create(RemoteApiServer, address)
+                host.connect(net.provided(Network), api.required(Network))
+                host.connect(node.provided(PutGet), api.required(PutGet))
+                built[address.node_id] = node
+
+            return builder
+
+        def client_builder(address, server):
+            def builder(host, net, timer):
+                client = host.create(CatsClient, address, server)
+                host.connect(net.provided(Network), client.required(Network))
+                app = host.create(RemoteApp)
+                host.connect(client.provided(PutGet), app.required(PutGet))
+                built["app"] = app.definition
+
+            return builder
+
+        def build(scaffold):
+            seeds = ()
+            for node_id in (10_000, 30_000, 50_000):
+                address = sim_address(node_id)
+                scaffold.create(SimHost, address, node_builder(address, seeds))
+                seeds = (sim_address(10_000),)
+            scaffold.create(
+                SimHost, sim_address(999), client_builder(sim_address(999), sim_address(10_000))
+            )
+
+        simulation.bootstrap(Scaffold, build)
+        simulation.run(until=10.0)
+
+        app = built["app"]
+        app.trigger(PutRequest(key=777, value="remote", op_id=1), app.putget)
+        simulation.run(until=simulation.now() + 3.0)
+        assert app.responses[1].ok
+
+        app.trigger(GetRequest(key=777, op_id=2), app.putget)
+        simulation.run(until=simulation.now() + 3.0)
+        assert app.responses[2].found and app.responses[2].value == "remote"
+
+
+class TestBootstrapDrivenJoin:
+    def test_nodes_discover_each_other_via_bootstrap_server(self):
+        simulation = Simulation(seed=19)
+        built = {"nodes": []}
+        server_address = sim_address(60_000)
+
+        def server_builder(host, net, timer):
+            server = host.create(BootstrapServer, server_address)
+            host.wire_network_and_timer(server)
+            built["server"] = server.definition
+
+        def node_builder(address):
+            def builder(host, net, timer):
+                node = host.create(
+                    CatsNode, address,
+                    CatsConfig(
+                        key_space=KeySpace(bits=16),
+                        bootstrap_server=server_address,
+                        stabilize_period=0.25,
+                    ),
+                )
+                host.wire_network_and_timer(node)
+                built["nodes"].append(node)
+
+            return builder
+
+        def build(scaffold):
+            scaffold.create(SimHost, server_address, server_builder)
+            for node_id in (5_000, 25_000, 45_000):
+                address = sim_address(node_id)
+                scaffold.create(SimHost, address, node_builder(address))
+
+        simulation.bootstrap(Scaffold, build)
+        simulation.run(until=25.0)
+
+        # All nodes joined one ring purely through bootstrap discovery.
+        assert all(node.definition.joined for node in built["nodes"])
+        successors = {
+            node.definition.address.node_id: node.definition.ring.definition.successors[0].node_id
+            for node in built["nodes"]
+        }
+        assert successors == {5_000: 25_000, 25_000: 45_000, 45_000: 5_000}
+        # And they keep advertising themselves via keep-alives.
+        assert built["server"].status()["alive"] == 3

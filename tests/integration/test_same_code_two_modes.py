@@ -1,0 +1,129 @@
+"""Fig 12: the same system code runs in simulation and real-time modes.
+
+The paper's headline capability: identical component code executes under
+(a) deterministic simulation with virtual time, and (b) the multi-core
+work-stealing runtime in real time, simply by swapping network/timer
+providers and the scheduler.  We boot the same CATS cluster both ways and
+assert both converge and serve the same operations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ComponentDefinition, ComponentSystem, WorkStealingScheduler
+from repro.cats import (
+    CatsConfig,
+    CatsSimulator,
+    Experiment,
+    GetCmd,
+    JoinNode,
+    KeySpace,
+    PutCmd,
+)
+from repro.core.dispatch import trigger
+from repro.simulation import Simulation
+
+from tests.kit import Scaffold, inject, wait_until
+
+IDS = [7_000, 27_000, 47_000]
+CONFIG = CatsConfig(
+    key_space=KeySpace(bits=16),
+    replication_degree=3,
+    stabilize_period=0.2,
+    fd_interval=0.4,
+    op_timeout=1.0,
+)
+
+
+def test_simulation_mode():
+    simulation = Simulation(seed=5)
+    built = {}
+
+    def build(scaffold):
+        built["sim"] = scaffold.create(CatsSimulator, CONFIG, mode="simulation")
+
+    simulation.bootstrap(Scaffold, build)
+    sim = built["sim"].definition
+    for node_id in IDS:
+        inject(sim.core.component, Experiment, JoinNode(node_id))
+        simulation.run(until=simulation.now() + 1.0)
+    simulation.run(until=simulation.now() + 5.0)
+
+    inject(sim.core.component, Experiment, PutCmd(7_000, 1234, "both modes"))
+    simulation.run(until=simulation.now() + 2.0)
+    inject(sim.core.component, Experiment, GetCmd(47_000, 1234))
+    simulation.run(until=simulation.now() + 2.0)
+
+    assert sim.alive_count == 3
+    assert sim.stats.puts_completed == 1
+    assert sim.stats.gets_completed == 1
+
+
+def test_local_interactive_mode():
+    system = ComponentSystem(
+        scheduler=WorkStealingScheduler(workers=3), fault_policy="record"
+    )
+    built = {}
+
+    def build(scaffold):
+        built["sim"] = scaffold.create(CatsSimulator, CONFIG, mode="local")
+
+    system.bootstrap(Scaffold, build)
+    sim = built["sim"].definition
+    for node_id in IDS:
+        inject(sim.core.component, Experiment, JoinNode(node_id))
+        time.sleep(0.2)
+    assert wait_until(
+        lambda: all(
+            host.definition.node.definition.joined for host in sim.hosts.values()
+        )
+        and all(
+            host.definition.node.definition.abd.definition.my_view is not None
+            for host in sim.hosts.values()
+        ),
+        timeout=30,
+    )
+
+    inject(sim.core.component, Experiment, PutCmd(7_000, 1234, "both modes"))
+    assert wait_until(lambda: sim.stats.puts_completed == 1, timeout=15)
+    inject(sim.core.component, Experiment, GetCmd(47_000, 1234))
+    assert wait_until(lambda: sim.stats.gets_completed == 1, timeout=15)
+    assert sim.alive_count == 3
+    system.shutdown()
+
+
+def test_simulation_runs_are_bit_identical():
+    """Determinism across whole CATS runs: same seed, same everything."""
+
+    def run(seed: int):
+        simulation = Simulation(seed=seed)
+        built = {}
+
+        def build(scaffold):
+            built["sim"] = scaffold.create(CatsSimulator, CONFIG)
+
+        simulation.bootstrap(Scaffold, build)
+        sim = built["sim"].definition
+        rng = simulation.system.random
+        for node_id in IDS:
+            inject(sim.core.component, Experiment, JoinNode(node_id))
+            simulation.run(until=simulation.now() + 1.0)
+        simulation.run(until=simulation.now() + 5.0)
+        for n in range(10):
+            key = rng.randrange(1 << 16)
+            inject(sim.core.component, Experiment, PutCmd(key, key, n))
+            inject(sim.core.component, Experiment, GetCmd(key, key))
+            simulation.run(until=simulation.now() + 0.5)
+        simulation.run(until=simulation.now() + 5.0)
+        return (
+            sim.stats.puts_completed,
+            sim.stats.gets_completed,
+            tuple(sim.stats.op_latencies),
+            simulation.events_dispatched,
+            simulation.now(),
+        )
+
+    first, second, third = run(9), run(9), run(10)
+    assert first == second
+    assert first != third

@@ -1,0 +1,121 @@
+"""Shared test scaffolding: tiny port types and components used across suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import (
+    ComponentDefinition,
+    ComponentSystem,
+    Event,
+    ManualScheduler,
+    PortType,
+    Start,
+    handles,
+)
+
+
+@dataclass(frozen=True)
+class Ping(Event):
+    n: int = 0
+
+
+@dataclass(frozen=True)
+class Pong(Event):
+    n: int = 0
+
+
+@dataclass(frozen=True)
+class FancyPing(Ping):
+    """A Ping subtype, for event-subtyping tests."""
+
+    label: str = "fancy"
+
+
+class PingPort(PortType):
+    """A request/indication abstraction: Ping in, Pong out."""
+
+    positive = (Pong,)
+    negative = (Ping,)
+
+
+class EchoServer(ComponentDefinition):
+    """Provides PingPort; answers every Ping with a Pong carrying the same n."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.port = self.provides(PingPort)
+        self.pings: list[Ping] = []
+        self.subscribe(self.on_ping, self.port)
+
+    @handles(Ping)
+    def on_ping(self, ping: Ping) -> None:
+        self.pings.append(ping)
+        self.trigger(Pong(ping.n), self.port)
+
+
+class Collector(ComponentDefinition):
+    """Requires PingPort; sends pings on Start and records pongs."""
+
+    def __init__(self, count: int = 1) -> None:
+        super().__init__()
+        self.port = self.requires(PingPort)
+        self.count = count
+        self.pongs: list[Pong] = []
+        self.subscribe(self.on_start, self.control)
+        self.subscribe(self.on_pong, self.port)
+
+    @handles(Start)
+    def on_start(self, _event: Start) -> None:
+        for n in range(self.count):
+            self.trigger(Ping(n), self.port)
+
+    @handles(Pong)
+    def on_pong(self, pong: Pong) -> None:
+        self.pongs.append(pong)
+
+
+class Scaffold(ComponentDefinition):
+    """A root component whose children/wiring are supplied by the test."""
+
+    def __init__(self, builder: Callable[["Scaffold"], None]) -> None:
+        super().__init__()
+        builder(self)
+
+
+def make_system(**kwargs) -> ComponentSystem:
+    """A deterministic, single-stepped system that raises on unhandled faults."""
+    kwargs.setdefault("scheduler", ManualScheduler())
+    kwargs.setdefault("fault_policy", "raise")
+    kwargs.setdefault("seed", 42)
+    return ComponentSystem(**kwargs)
+
+
+def settle(system: ComponentSystem) -> None:
+    """Run a manual-scheduler system to quiescence."""
+    system.await_quiescence()
+
+
+def inject(component, port_type, event, provided: bool = True) -> None:
+    """Trigger an event into a component's port from outside the hierarchy.
+
+    Accepts a Component facade or a ComponentDefinition; the event enters
+    through the port's outside face (the way a parent would push it).
+    """
+    from repro.core.dispatch import trigger
+
+    core = component.core
+    trigger(event, core.port(port_type, provided=provided).outside)
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float = 5.0, interval: float = 0.002) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses (threaded tests)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

@@ -1,0 +1,101 @@
+"""Cross-validate the WGL checker against brute-force enumeration.
+
+For small random histories we can decide linearizability exhaustively:
+try every permutation of the operations, keep those consistent with the
+real-time order, and replay register semantics.  The optimized checker
+must agree on every instance — both positively and negatively.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import NOT_FOUND, Operation, check_register
+
+
+def brute_force_linearizable(operations) -> bool:
+    ops = [op for op in operations if op.complete or op.kind == "put"]
+    if not ops:
+        return True
+    n = len(ops)
+    for order in itertools.permutations(range(n)):
+        # Real-time constraint: op A before op B in the linearization is
+        # illegal if B's response precedes A's invocation.
+        legal = True
+        for position, index in enumerate(order):
+            for later in order[position + 1 :]:
+                if ops[later].response_time < ops[index].invoke_time:
+                    legal = False
+                    break
+            if not legal:
+                break
+        if not legal:
+            continue
+        # Replay register semantics; pending puts may also be dropped, so
+        # try every subset of pending puts to include.
+        pending = [i for i in order if not ops[i].complete]
+        for dropped_mask in range(1 << len(pending)):
+            dropped = {
+                pending[bit]
+                for bit in range(len(pending))
+                if dropped_mask & (1 << bit)
+            }
+            state = NOT_FOUND
+            ok = True
+            for index in order:
+                if index in dropped:
+                    continue
+                op = ops[index]
+                if op.kind == "put":
+                    state = op.value
+                else:
+                    result = op.result if op.result is not None else NOT_FOUND
+                    if result != state and not (
+                        result is NOT_FOUND and state is NOT_FOUND
+                    ):
+                        ok = False
+                        break
+            if ok:
+                return True
+    return False
+
+
+values = st.sampled_from(["a", "b"])
+
+
+@st.composite
+def random_histories(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    operations = []
+    for op_id in range(count):
+        invoke = draw(st.integers(min_value=0, max_value=8))
+        pending = draw(st.booleans())
+        kind = draw(st.sampled_from(["put", "get"]))
+        if pending and kind == "get":
+            pending = False  # pending gets are trivially droppable anyway
+        response = math.inf if pending else invoke + draw(st.integers(1, 4))
+        operation = Operation(
+            op_id=op_id,
+            process=op_id,
+            kind=kind,
+            key=1,
+            value=draw(values) if kind == "put" else None,
+            result=(
+                draw(st.sampled_from(["a", "b", NOT_FOUND])) if kind == "get" else None
+            ),
+            invoke_time=float(invoke),
+            response_time=float(response),
+        )
+        operations.append(operation)
+    return operations
+
+
+@given(random_histories())
+@settings(max_examples=300, deadline=None)
+def test_checker_agrees_with_brute_force(history):
+    expected = brute_force_linearizable(history)
+    actual = check_register(history).linearizable
+    assert actual == expected, (expected, actual, history)

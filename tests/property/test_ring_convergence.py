@@ -1,0 +1,77 @@
+"""Property: the ring converges after arbitrary bounded churn scripts.
+
+Hypothesis generates short sequences of joins and failures; after the
+script runs (with settling time), every alive node's successor must be the
+next alive id clockwise, and ownership must partition the key space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cats import CatsConfig, CatsSimulator, Experiment, FailNode, JoinNode, KeySpace
+from repro.simulation import Simulation
+
+from tests.kit import Scaffold, inject
+
+SPACE = KeySpace(bits=16)
+
+churn_ops = st.lists(
+    st.tuples(st.sampled_from(["join", "fail"]), st.integers(0, (1 << 16) - 1)),
+    min_size=0,
+    max_size=6,
+)
+
+
+@given(script=churn_ops, seed=st.integers(0, 3))
+@settings(max_examples=12, deadline=None)
+def test_ring_converges_after_any_bounded_churn(script, seed):
+    simulation = Simulation(seed=seed)
+    built = {}
+
+    def build(scaffold):
+        built["sim"] = scaffold.create(
+            CatsSimulator,
+            CatsConfig(
+                key_space=SPACE,
+                replication_degree=3,
+                stabilize_period=0.25,
+                fd_interval=0.5,
+            ),
+        )
+
+    simulation.bootstrap(Scaffold, build)
+    sim = built["sim"].definition
+
+    # Always boot a base ring of three nodes first.
+    for node_id in (1_000, 22_000, 44_000):
+        inject(sim.core.component, Experiment, JoinNode(node_id))
+        simulation.run(until=simulation.now() + 1.0)
+    simulation.run(until=simulation.now() + 5.0)
+
+    for kind, value in script:
+        if kind == "join" and sim.alive_count < 8:
+            inject(sim.core.component, Experiment, JoinNode(value))
+        elif kind == "fail" and sim.alive_count > 2:
+            inject(sim.core.component, Experiment, FailNode(value))
+        simulation.run(until=simulation.now() + 2.0)
+
+    simulation.run(until=simulation.now() + 25.0)
+
+    alive = sorted(sim.hosts)
+    assert len(alive) >= 2
+    rings = {
+        node_id: sim.hosts[node_id].definition.node.definition.ring.definition
+        for node_id in alive
+    }
+    # 1. Successor pointers form the sorted cycle of alive ids.
+    for index, node_id in enumerate(alive):
+        expected = alive[(index + 1) % len(alive)]
+        assert rings[node_id].successors[0].node_id == expected, (
+            node_id,
+            rings[node_id].status(),
+        )
+    # 2. Ownership partitions the ring: each probe key has exactly one owner.
+    for probe in (0, 7_777, 30_000, 65_535):
+        owners = [node_id for node_id in alive if rings[node_id].owns(probe)]
+        assert len(owners) == 1, (probe, owners)

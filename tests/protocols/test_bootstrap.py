@@ -1,0 +1,123 @@
+"""The bootstrap server/client protocol under simulated time."""
+
+from __future__ import annotations
+
+from repro import ComponentDefinition, handles
+from repro.protocols.bootstrap import (
+    Bootstrap,
+    BootstrapClient,
+    BootstrapDone,
+    BootstrapRequest,
+    BootstrapResponse,
+    BootstrapServer,
+)
+from repro.simulation import Simulation
+
+from tests.kit import Scaffold
+from tests.sim_kit import SimHost, sim_address
+
+SERVER = sim_address(1000)
+
+
+class Joiner(ComponentDefinition):
+    """Requires Bootstrap; joins immediately after getting peers."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bootstrap = self.requires(Bootstrap)
+        self.responses: list[BootstrapResponse] = []
+        self.subscribe(self.on_response, self.bootstrap)
+
+    def request(self) -> None:
+        self.trigger(BootstrapRequest(), self.bootstrap)
+
+    @handles(BootstrapResponse)
+    def on_response(self, response: BootstrapResponse) -> None:
+        self.responses.append(response)
+        self.trigger(BootstrapDone(), self.bootstrap)
+
+
+def _world(client_count=3):
+    simulation = Simulation(seed=6)
+    built = {"clients": {}}
+
+    def server_builder(host, net, timer):
+        server = host.create(BootstrapServer, SERVER, eviction_timeout=6.0, sweep_interval=1.0)
+        host.wire_network_and_timer(server)
+        built["server"] = server.definition
+
+    def make_client_builder(address):
+        def builder(host, net, timer):
+            client = host.create(
+                BootstrapClient, address, SERVER, keepalive_interval=1.0
+            )
+            host.wire_network_and_timer(client)
+            joiner = host.create(Joiner)
+            host.connect(client.provided(Bootstrap), joiner.required(Bootstrap))
+            built["clients"][address.node_id] = {
+                "joiner": joiner.definition,
+                "host": host,
+                "address": address,
+            }
+
+        return builder
+
+    def build(scaffold):
+        scaffold.create(SimHost, SERVER, server_builder)
+        for n in range(1, client_count + 1):
+            address = sim_address(n)
+            scaffold.create(SimHost, address, make_client_builder(address))
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built
+
+
+def test_first_joiner_gets_empty_peer_list():
+    simulation, built = _world(client_count=1)
+    joiner = built["clients"][1]["joiner"]
+    joiner.request()
+    simulation.run(until=1.0)
+    assert len(joiner.responses) == 1
+    assert joiner.responses[0].peers == ()
+
+
+def test_later_joiners_learn_earlier_nodes():
+    simulation, built = _world(client_count=3)
+    built["clients"][1]["joiner"].request()
+    simulation.run(until=2.0)
+    built["clients"][2]["joiner"].request()
+    simulation.run(until=4.0)
+    built["clients"][3]["joiner"].request()
+    simulation.run(until=6.0)
+
+    third = built["clients"][3]["joiner"].responses[0]
+    peer_ids = {peer.node_id for peer in third.peers}
+    assert peer_ids == {1, 2}
+    assert built["server"].status()["alive"] == 3
+
+
+def test_keepalives_prevent_eviction_and_silence_causes_it():
+    simulation, built = _world(client_count=2)
+    for n in (1, 2):
+        built["clients"][n]["joiner"].request()
+    simulation.run(until=5.0)
+    assert built["server"].status()["alive"] == 2
+
+    # Crash node 2: keep-alives stop, the server evicts it.
+    built["clients"][2]["host"].core.destroy()
+    simulation.run(until=20.0)
+    assert [a.node_id for a in built["server"].alive_nodes] == [1]
+
+
+def test_peer_list_respects_max_peers():
+    simulation, built = _world(client_count=6)
+    for n in range(1, 6):
+        built["clients"][n]["joiner"].request()
+    simulation.run(until=3.0)
+
+    # Client 6 asks with a small cap.
+    joiner = built["clients"][6]["joiner"]
+    client_def = None
+    joiner.trigger(BootstrapRequest(), joiner.bootstrap)
+    simulation.run(until=5.0)
+    assert len(joiner.responses) == 1

@@ -1,0 +1,113 @@
+"""BootstrapClient in isolation: grant-denied retries, keep-alives."""
+
+from __future__ import annotations
+
+from repro.network import Network
+from repro.protocols.bootstrap import (
+    Bootstrap,
+    BootstrapClient,
+    BootstrapDone,
+    BootstrapRequest,
+    BootstrapResponse,
+    GetPeersRequest,
+    GetPeersResponse,
+    KeepAlive,
+)
+from repro.testkit import ComponentHarness
+
+from tests.sim_kit import sim_address
+
+ME = sim_address(1)
+SERVER = sim_address(100)
+PEER = sim_address(2)
+
+
+def make_harness():
+    harness = ComponentHarness(
+        BootstrapClient, ME, SERVER, keepalive_interval=1.0, retry_interval=0.5
+    )
+    return harness, harness.probe(Network), harness.probe(Bootstrap)
+
+
+def test_request_is_forwarded_to_the_server():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    request = network.expect(GetPeersRequest)
+    assert request.destination == SERVER
+    harness.shutdown()
+
+
+def test_peers_are_delivered_as_bootstrap_response():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    network.drain()
+    network.inject(GetPeersResponse(SERVER, ME, peers=(PEER,)))
+    response = bootstrap.expect(BootstrapResponse)
+    assert response.peers == (PEER,)
+    harness.shutdown()
+
+
+def test_creation_grant_allows_empty_response_through():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    network.drain()
+    network.inject(GetPeersResponse(SERVER, ME, peers=(), create_ring=True))
+    response = bootstrap.expect(BootstrapResponse)
+    assert response.peers == ()
+    harness.shutdown()
+
+
+def test_denied_creation_triggers_retry_until_peers_appear():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    network.drain()
+    # No peers and no grant: the client must not report back yet...
+    network.inject(GetPeersResponse(SERVER, ME, peers=(), create_ring=False))
+    bootstrap.expect_none(BootstrapResponse)
+    # ...but retry after the retry interval.
+    harness.run(for_=0.6)
+    retry = network.expect(GetPeersRequest)
+    assert retry.destination == SERVER
+    # Second answer carries the (by now joined) creator.
+    network.inject(GetPeersResponse(SERVER, ME, peers=(PEER,)))
+    assert bootstrap.expect(BootstrapResponse).peers == (PEER,)
+    harness.shutdown()
+
+
+def test_done_starts_periodic_keepalives():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    network.drain()
+    network.inject(GetPeersResponse(SERVER, ME, peers=(PEER,)))
+    bootstrap.inject(BootstrapDone())
+    first = network.expect(KeepAlive)
+    assert first.destination == SERVER
+    harness.run(for_=3.2)
+    assert len(network.drain(KeepAlive)) == 3  # one per interval
+    harness.shutdown()
+
+
+def test_done_is_idempotent():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    network.drain()
+    network.inject(GetPeersResponse(SERVER, ME, peers=(PEER,)))
+    bootstrap.inject(BootstrapDone())
+    bootstrap.inject(BootstrapDone())
+    network.drain(KeepAlive)
+    harness.run(for_=1.1)
+    # Only one periodic schedule exists: one keep-alive per interval.
+    assert len(network.drain(KeepAlive)) == 1
+    harness.shutdown()
+
+
+def test_late_responses_after_join_are_ignored():
+    harness, network, bootstrap = make_harness()
+    bootstrap.inject(BootstrapRequest())
+    network.drain()
+    network.inject(GetPeersResponse(SERVER, ME, peers=(PEER,)))
+    bootstrap.expect(BootstrapResponse)
+    bootstrap.inject(BootstrapDone())
+    network.inject(GetPeersResponse(SERVER, ME, peers=(PEER,)))
+    bootstrap.expect_none(BootstrapResponse)
+    harness.shutdown()

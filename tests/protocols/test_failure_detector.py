@@ -1,0 +1,126 @@
+"""The ping failure detector under simulated time, loss and partitions."""
+
+from __future__ import annotations
+
+from repro import ComponentDefinition, handles
+from repro.protocols.failure_detector import (
+    FailureDetector,
+    MonitorNode,
+    PingFailureDetector,
+    Restore,
+    StopMonitoringNode,
+    Suspect,
+)
+from repro.simulation import Simulation, emulator_of
+
+from tests.kit import Scaffold
+from tests.sim_kit import SimHost, sim_address
+
+
+class FdObserver(ComponentDefinition):
+    """Requires FailureDetector; records suspicion history."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fd = self.requires(FailureDetector)
+        self.history: list[tuple[float, str, object]] = []
+        self.subscribe(self.on_suspect, self.fd)
+        self.subscribe(self.on_restore, self.fd)
+
+    @handles(Suspect)
+    def on_suspect(self, event: Suspect) -> None:
+        self.history.append((self.now(), "suspect", event.node))
+
+    @handles(Restore)
+    def on_restore(self, event: Restore) -> None:
+        self.history.append((self.now(), "restore", event.node))
+
+    def monitor(self, node) -> None:
+        self.trigger(MonitorNode(node), self.fd)
+
+    def unmonitor(self, node) -> None:
+        self.trigger(StopMonitoringNode(node), self.fd)
+
+
+def _world(node_count=2):
+    simulation = Simulation(seed=2)
+    built = {}
+
+    def make_builder(address):
+        def builder(host, net, timer):
+            fd = host.create(PingFailureDetector, address, interval=0.5)
+            host.wire_network_and_timer(fd)
+            observer = host.create(FdObserver)
+            host.connect(fd.provided(FailureDetector), observer.required(FailureDetector))
+            built[address.node_id] = {"fd": fd, "observer": observer.definition, "host": host}
+
+        return builder
+
+    def build(scaffold):
+        for n in range(1, node_count + 1):
+            address = sim_address(n)
+            built.setdefault(n, {})
+            scaffold.create(SimHost, address, make_builder(address))
+            built[n]["address"] = address
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built
+
+
+def test_live_node_is_never_suspected():
+    simulation, built = _world()
+    built[1]["observer"].monitor(built[2]["address"])
+    simulation.run(until=20.0)
+    assert built[1]["observer"].history == []
+
+
+def test_crashed_node_is_eventually_suspected():
+    simulation, built = _world()
+    built[1]["observer"].monitor(built[2]["address"])
+    simulation.run(until=5.0)
+    # Crash node 2: its network adapter unregisters, pings go unanswered.
+    built[2]["host"].core.destroy()
+    simulation.run(until=20.0)
+    events = [kind for _t, kind, _n in built[1]["observer"].history]
+    assert events == ["suspect"]
+
+
+def test_partition_then_heal_gives_suspect_then_restore_and_widens_timeout():
+    simulation, built = _world()
+    core = emulator_of(simulation.system)
+    observer = built[1]["observer"]
+    observer.monitor(built[2]["address"])
+    simulation.run(until=3.0)
+
+    fd_def = built[1]["fd"].definition
+    interval_before = fd_def.interval
+    core.partition([built[1]["address"]], [built[2]["address"]])
+    simulation.run(until=10.0)
+    core.heal()
+    simulation.run(until=25.0)
+
+    kinds = [kind for _t, kind, _n in observer.history]
+    assert kinds == ["suspect", "restore"]
+    assert fd_def.interval > interval_before  # eventual accuracy mechanism
+
+
+def test_stop_monitoring_stops_suspicion():
+    simulation, built = _world()
+    observer = built[1]["observer"]
+    observer.monitor(built[2]["address"])
+    simulation.run(until=3.0)
+    observer.unmonitor(built[2]["address"])
+    built[2]["host"].core.destroy()
+    simulation.run(until=20.0)
+    assert observer.history == []
+
+
+def test_detector_survives_message_loss():
+    simulation, built = _world()
+    emulator_of(simulation.system).loss_rate = 0.3
+    observer = built[1]["observer"]
+    observer.monitor(built[2]["address"])
+    simulation.run(until=60.0)
+    kinds = [kind for _t, kind, _n in observer.history]
+    # Any false suspicion must have been restored (eventual accuracy).
+    assert kinds.count("suspect") == kinds.count("restore")

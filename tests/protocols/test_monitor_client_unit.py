@@ -1,0 +1,61 @@
+"""MonitorClient in isolation: polling cadence and report contents."""
+
+from __future__ import annotations
+
+from repro.network import Network
+from repro.protocols.monitor import (
+    MonitorReport,
+    Status,
+    StatusRequest,
+    StatusResponse,
+)
+from repro.protocols.monitor.client import MonitorClient
+from repro.testkit import ComponentHarness
+
+from tests.sim_kit import sim_address
+
+ME = sim_address(1)
+SERVER = sim_address(99)
+
+
+def make_harness():
+    harness = ComponentHarness(MonitorClient, ME, SERVER, period=1.0)
+    return harness, harness.probe(Network), harness.probe(Status)
+
+
+def test_polls_status_every_period():
+    harness, network, status = make_harness()
+    harness.run(for_=3.1)
+    assert len(status.drain(StatusRequest)) == 3
+    harness.shutdown()
+
+
+def test_no_report_before_any_status_arrives():
+    harness, network, status = make_harness()
+    harness.run(for_=1.1)
+    network.expect_none(MonitorReport)
+    harness.shutdown()
+
+
+def test_gathered_statuses_ship_in_the_next_report():
+    harness, network, status = make_harness()
+    harness.run(for_=1.1)  # first poll went out
+    status.inject(StatusResponse("ring@1", {"joined": True}))
+    status.inject(StatusResponse("abd@1", {"keys": 7}))
+    harness.run(for_=1.0)  # next tick ships the snapshot
+    report = network.expect(MonitorReport)
+    assert report.destination == SERVER
+    snapshot = report.as_dict()
+    assert snapshot["ring@1"] == {"joined": True}
+    assert snapshot["abd@1"] == {"keys": 7}
+    harness.shutdown()
+
+
+def test_latest_status_wins_within_a_period():
+    harness, network, status = make_harness()
+    harness.run(for_=1.1)
+    status.inject(StatusResponse("ring@1", {"joined": False}))
+    status.inject(StatusResponse("ring@1", {"joined": True}))
+    harness.run(for_=1.0)
+    assert network.expect(MonitorReport).as_dict()["ring@1"] == {"joined": True}
+    harness.shutdown()

@@ -1,0 +1,190 @@
+"""Monitoring (Status, MonitorClient/Server) and the Web bridge."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, ComponentSystem, WorkStealingScheduler, handles
+from repro.protocols.monitor import (
+    MonitorClient,
+    MonitorServer,
+    Status,
+    StatusRequest,
+    StatusResponse,
+)
+from repro.protocols.web import Web, WebRequest, WebResponse, WebServer
+from repro.simulation import Simulation
+
+from tests.kit import Scaffold, wait_until
+from tests.sim_kit import SimHost, sim_address
+
+MONITOR = sim_address(500)
+
+
+class Instrumented(ComponentDefinition):
+    """A component that reports a Status snapshot."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self.status_port = self.provides(Status)
+        self.polls = 0
+        self.subscribe(self.on_status_request, self.status_port)
+
+    @handles(StatusRequest)
+    def on_status_request(self, _request: StatusRequest) -> None:
+        self.polls += 1
+        self.trigger(
+            StatusResponse(self.name, {"polls": self.polls}), self.status_port
+        )
+
+
+def _world(node_count=2):
+    simulation = Simulation(seed=8)
+    built = {"nodes": {}}
+
+    def server_builder(host, net, timer):
+        server = host.create(MonitorServer, MONITOR, staleness_timeout=6.0)
+        host.wire_network_and_timer(server)
+        built["server"] = server.definition
+
+    def make_node_builder(address):
+        def builder(host, net, timer):
+            client = host.create(MonitorClient, address, MONITOR, period=1.0)
+            host.wire_network_and_timer(client)
+            for name in ("ring", "router"):
+                component = host.create(Instrumented, f"{name}@{address.node_id}")
+                host.connect(component.provided(Status), client.required(Status))
+            built["nodes"][address.node_id] = host
+
+        return builder
+
+    def build(scaffold):
+        scaffold.create(SimHost, MONITOR, server_builder)
+        for n in range(1, node_count + 1):
+            address = sim_address(n)
+            scaffold.create(SimHost, address, make_node_builder(address))
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built
+
+
+def test_monitor_server_builds_global_view():
+    simulation, built = _world(node_count=3)
+    simulation.run(until=10.0)
+    server = built["server"]
+    assert server.node_count == 3
+    view = server.global_view()
+    some_node = next(iter(view.values()))
+    components = some_node["components"]
+    assert len(components) == 2
+    assert all("polls" in data for data in components.values())
+
+
+def test_monitor_server_evicts_stale_nodes():
+    simulation, built = _world(node_count=2)
+    simulation.run(until=5.0)
+    assert built["server"].node_count == 2
+    built["nodes"][2].core.destroy()
+    simulation.run(until=20.0)
+    assert built["server"].node_count == 1
+
+
+def test_monitor_server_answers_web_requests():
+    simulation, built = _world(node_count=1)
+    simulation.run(until=5.0)
+    server = built["server"]
+    responses = []
+    # Drive the Web port directly (no HTTP in simulation mode).
+    from repro.core.dispatch import trigger
+
+    web_port = server.core.port(Web, provided=True)
+    original_trigger = server.trigger
+
+    class Probe(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.web = self.requires(Web)
+            self.subscribe(self.on_response, self.web)
+
+        @handles(WebResponse)
+        def on_response(self, response: WebResponse) -> None:
+            responses.append(response)
+
+    scaffold = built["server"].core.parent  # the SimHost core
+    probe_core = None
+
+    # Create the probe under the server's host and connect it.
+    host_def = scaffold.definition
+    probe = host_def.create(Probe)
+    host_def.connect(web_port.outside, probe.required(Web))
+    host_def.start_child(probe)
+    simulation.run(until=6.0)
+    probe.definition.trigger(WebRequest(path="/view.json", request_id=1), probe.definition.web)
+    simulation.run(until=7.0)
+    assert len(responses) == 1
+    payload = json.loads(responses[0].body)
+    assert len(payload) == 1
+
+
+def test_web_server_bridges_http_to_components():
+    """Real HTTP through the stdlib bridge, threaded runtime."""
+
+    class HelloPage(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.web = self.provides(Web)
+            self.subscribe(self.on_request, self.web)
+
+        @handles(WebRequest)
+        def on_request(self, request: WebRequest) -> None:
+            self.trigger(
+                WebResponse(
+                    request_id=request.request_id,
+                    body=f"hello from {request.path}",
+                    content_type="text/plain",
+                ),
+                self.web,
+            )
+
+    system = ComponentSystem(
+        scheduler=WorkStealingScheduler(workers=2), fault_policy="record"
+    )
+    built = {}
+
+    def build(scaffold):
+        page = scaffold.create(HelloPage)
+        server = scaffold.create(WebServer)
+        scaffold.connect(page.provided(Web), server.required(Web))
+        built["server"] = server.definition
+
+    system.bootstrap(Scaffold, build)
+    assert wait_until(lambda: built["server"] is not None)
+    url = built["server"].url
+    with urllib.request.urlopen(f"{url}/status", timeout=5) as response:
+        assert response.status == 200
+        assert response.read() == b"hello from /status"
+    system.shutdown()
+
+
+def test_web_server_times_out_without_provider():
+    system = ComponentSystem(
+        scheduler=WorkStealingScheduler(workers=2), fault_policy="record"
+    )
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(WebServer, response_timeout=0.2).definition
+
+    system.bootstrap(Scaffold, build)
+    url = built["server"].url
+    import urllib.error
+
+    try:
+        urllib.request.urlopen(f"{url}/anything", timeout=5)
+        raise AssertionError("expected HTTP 504")
+    except urllib.error.HTTPError as error:
+        assert error.code == 504
+    system.shutdown()

@@ -1,0 +1,91 @@
+"""Clocks, scheduler throughput, and manual stepping."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ComponentSystem, ManualScheduler
+from repro.runtime.clock import MonotonicClock, VirtualClock, WallClock
+
+from tests.kit import Collector, EchoServer, PingPort, Scaffold, make_system
+
+
+class TestClocks:
+    def test_monotonic_clock_starts_near_zero_and_advances(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert 0 <= first < 1.0
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_wall_clock_tracks_epoch_time(self):
+        clock = WallClock()
+        assert abs(clock.now() - time.time()) < 1.0
+
+    def test_virtual_clock_advances_explicitly(self):
+        clock = VirtualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.advance_to(7.5)
+        assert clock.now() == 7.5
+
+    def test_virtual_clock_rejects_time_travel(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+
+class TestManualScheduling:
+    def _world(self, throughput=1, count=10):
+        system = ComponentSystem(
+            scheduler=ManualScheduler(throughput=throughput), fault_policy="raise"
+        )
+        built = {}
+
+        def build(scaffold):
+            built["server"] = scaffold.create(EchoServer)
+            built["client"] = scaffold.create(Collector, count=count)
+            scaffold.connect(
+                built["server"].provided(PingPort), built["client"].required(PingPort)
+            )
+
+        system.bootstrap(Scaffold, build)
+        return system, built
+
+    def test_step_executes_one_slot(self):
+        system, built = self._world()
+        scheduler = system.scheduler
+        steps = 0
+        while scheduler.step():
+            steps += 1
+        assert steps > 0
+        assert len(built["client"].definition.pongs) == 10
+        assert not scheduler.step()  # quiescent
+        system.shutdown()
+
+    def test_run_to_quiescence_respects_max_slots(self):
+        system, built = self._world(count=50)
+        scheduler = system.scheduler
+        executed = scheduler.run_to_quiescence(max_slots=3)
+        assert executed == 3
+        assert len(built["client"].definition.pongs) < 50
+        scheduler.run_to_quiescence()
+        assert len(built["client"].definition.pongs) == 50
+        system.shutdown()
+
+    @pytest.mark.parametrize("throughput", [1, 5, 100])
+    def test_throughput_variants_reach_the_same_result(self, throughput):
+        system, built = self._world(throughput=throughput, count=30)
+        system.scheduler.run_to_quiescence()
+        assert [p.n for p in built["client"].definition.pongs] == list(range(30))
+        system.shutdown()
+
+    def test_higher_throughput_needs_fewer_slots(self):
+        system_a, _ = self._world(throughput=1, count=40)
+        slots_low = system_a.scheduler.run_to_quiescence()
+        system_a.shutdown()
+        system_b, _ = self._world(throughput=50, count=40)
+        slots_high = system_b.scheduler.run_to_quiescence()
+        system_b.shutdown()
+        assert slots_high < slots_low

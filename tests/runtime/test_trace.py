@@ -1,0 +1,102 @@
+"""Execution tracing: stepped-debugging support on top of simulation."""
+
+from __future__ import annotations
+
+from repro.runtime.trace import Tracer
+from repro.simulation import Simulation
+
+from tests.kit import Collector, EchoServer, Ping, PingPort, Scaffold, make_system, settle
+from tests.sim_kit import SimHost, sim_address
+
+
+def _traced_world(tracer):
+    system = make_system()
+    system.tracer = tracer
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["client"] = scaffold.create(Collector, count=3)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    settle(system)
+    return system, built
+
+
+def test_trace_records_every_executed_event():
+    tracer = Tracer()
+    system, built = _traced_world(tracer)
+    summary = tracer.summary()
+    assert summary["Ping"] == 3
+    assert summary["Pong"] == 3
+    assert summary["Start"] >= 3  # root + children
+    assert tracer.recorded == sum(summary.values())
+    system.shutdown()
+
+
+def test_trace_filter_drops_unwanted_events():
+    tracer = Tracer(event_filter=lambda component, event: event == "Ping")
+    system, built = _traced_world(tracer)
+    assert set(tracer.summary()) == {"Ping"}
+    assert tracer.dropped > 0
+    system.shutdown()
+
+
+def test_trace_capacity_bounds_memory():
+    tracer = Tracer(capacity=4)
+    system, built = _traced_world(tracer)
+    assert len(tracer.entries) == 4
+    assert tracer.recorded > 4
+    system.shutdown()
+
+
+def test_by_component_attribution():
+    tracer = Tracer()
+    system, built = _traced_world(tracer)
+    per_component = tracer.by_component()
+    server_name = built["server"].core.name
+    assert per_component[server_name] >= 3
+    system.shutdown()
+
+
+def test_simulation_traces_are_deterministic():
+    def run(seed):
+        tracer = Tracer()
+        simulation = Simulation(seed=seed)
+        simulation.system.tracer = tracer
+        built = {}
+
+        def make_builder(address):
+            def builder(host, net, timer):
+                from repro.protocols.overlay import CyclonOverlay, IntroducePeers, NodeSampling
+
+                cyclon = host.create(CyclonOverlay, address, period=0.5)
+                host.wire_network_and_timer(cyclon)
+                built[address.node_id] = cyclon
+
+            return builder
+
+        def build(scaffold):
+            for n in (1, 2, 3):
+                scaffold.create(SimHost, sim_address(n), make_builder(sim_address(n)))
+
+        simulation.bootstrap(Scaffold, build)
+        from repro.protocols.overlay import IntroducePeers, NodeSampling
+        from tests.kit import inject
+
+        inject(built[1], NodeSampling, IntroducePeers((sim_address(2),)))
+        inject(built[2], NodeSampling, IntroducePeers((sim_address(3),)))
+        simulation.run(until=10.0)
+        return tracer.fingerprint(), tracer.recorded
+
+    assert run(5) == run(5)
+
+
+def test_entry_formatting():
+    tracer = Tracer()
+    tracer.record(1.5, "node-1", "Ping")
+    text = str(tracer.entries[0])
+    assert "node-1" in text and "Ping" in text

@@ -1,0 +1,32 @@
+"""Helpers for building simulated multi-node systems in tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import ComponentDefinition
+from repro.network import Address, Network, local_address
+from repro.simulation import EmulatedNetwork, SimTimer, Simulation
+from repro.timer import Timer
+
+
+class SimHost(ComponentDefinition):
+    """A simulated node: its own EmulatedNetwork and SimTimer plus whatever
+    the test's builder wires behind them."""
+
+    def __init__(self, address: Address, builder: Callable) -> None:
+        super().__init__()
+        self.address = address
+        self.net = self.create(EmulatedNetwork, address)
+        self.timer = self.create(SimTimer)
+        builder(self, self.net, self.timer)
+
+    def wire_network_and_timer(self, component) -> None:
+        """Connect a child's required Network and Timer ports."""
+        self.connect(self.net.provided(Network), component.required(Network))
+        self.connect(self.timer.provided(Timer), component.required(Timer))
+
+
+def sim_address(n: int) -> Address:
+    """A deterministic simulated address with node_id == n."""
+    return local_address(n, node_id=n)

@@ -1,0 +1,124 @@
+"""One-way partitions in the emulator and their effect on protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, handles
+from repro.network import Address, Message, Network
+from repro.protocols.failure_detector import (
+    FailureDetector,
+    MonitorNode,
+    PingFailureDetector,
+    Suspect,
+)
+from repro.simulation import Simulation, emulator_of
+
+from tests.kit import Scaffold
+from tests.sim_kit import SimHost, sim_address
+
+
+@dataclass(frozen=True)
+class Probe(Message):
+    n: int = 0
+
+
+class Talker(ComponentDefinition):
+    def __init__(self, address: Address) -> None:
+        super().__init__()
+        self.address = address
+        self.network = self.requires(Network)
+        self.received: list[int] = []
+        self.subscribe(self.on_probe, self.network, event_type=Probe)
+
+    def on_probe(self, message: Probe) -> None:
+        self.received.append(message.n)
+
+    def send(self, to: Address, n: int) -> None:
+        self.trigger(Probe(self.address, to, n=n), self.network)
+
+
+def _pair():
+    simulation = Simulation(seed=8)
+    built = {}
+
+    def make_builder(address):
+        def builder(host, net, timer):
+            talker = host.create(Talker, address)
+            host.connect(net.provided(Network), talker.required(Network))
+            built[address.node_id] = talker.definition
+
+        return builder
+
+    def build(scaffold):
+        for n in (1, 2):
+            address = sim_address(n)
+            scaffold.create(SimHost, address, make_builder(address))
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built
+
+
+def test_one_way_partition_blocks_only_one_direction():
+    simulation, built = _pair()
+    core = emulator_of(simulation.system)
+    core.partition_one_way([sim_address(1)], [sim_address(2)])
+    simulation.run()
+
+    built[1].send(sim_address(2), 10)  # blocked direction
+    built[2].send(sim_address(1), 20)  # open direction
+    simulation.run()
+    assert built[2].received == []
+    assert built[1].received == [20]
+
+    core.heal()
+    built[1].send(sim_address(2), 11)
+    simulation.run()
+    assert built[2].received == [11]
+
+
+def test_asymmetric_link_still_suspects_silent_peer():
+    """An FD whose pings vanish one-way must still (correctly) suspect:
+    it gets no pongs even though the peer is alive and reachable inbound."""
+    simulation = Simulation(seed=9)
+    built = {}
+
+    def make_builder(address):
+        def builder(host, net, timer):
+            fd = host.create(PingFailureDetector, address, interval=0.5)
+            host.wire_network_and_timer(fd)
+
+            class Observer(ComponentDefinition):
+                def __init__(self) -> None:
+                    super().__init__()
+                    self.fd = self.requires(FailureDetector)
+                    self.suspected = []
+                    self.subscribe(self.on_suspect, self.fd)
+
+                @handles(Suspect)
+                def on_suspect(self, event):
+                    self.suspected.append(event.node)
+
+            observer = host.create(Observer)
+            host.connect(fd.provided(FailureDetector), observer.required(FailureDetector))
+            built[address.node_id] = observer.definition
+
+        return builder
+
+    def build(scaffold):
+        for n in (1, 2):
+            address = sim_address(n)
+            scaffold.create(SimHost, address, make_builder(address))
+
+    simulation.bootstrap(Scaffold, build)
+    observer = built[1]
+    observer.trigger(MonitorNode(sim_address(2)), observer.fd)
+    simulation.run(until=3.0)
+    assert observer.suspected == []
+
+    # Pings from 1 to 2 vanish; pongs could flow but are never provoked.
+    emulator_of(simulation.system).partition_one_way(
+        [sim_address(1)], [sim_address(2)]
+    )
+    simulation.run(until=15.0)
+    assert observer.suspected == [sim_address(2)]

@@ -1,0 +1,170 @@
+"""The experiment-scenario DSL (paper section 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulation import (
+    Scenario,
+    Simulation,
+    StochasticProcess,
+    constant,
+    exponential,
+    key_uniform,
+    normal,
+    uniform_int,
+)
+
+
+def _collecting_sink():
+    events = []
+    return events, events.append
+
+
+def test_single_process_raises_exact_event_count():
+    simulation = Simulation(seed=1)
+    events, sink = _collecting_sink()
+    boot = (
+        StochasticProcess("boot")
+        .event_inter_arrival_time(exponential(2.0))
+        .raise_events(100, lambda key: ("join", key), key_uniform(16))
+    )
+    scenario = Scenario().start(boot)
+    counters = scenario.simulate(simulation, sink)
+    simulation.run()
+    assert counters["boot"] == 100
+    assert len(events) == 100
+    assert all(op == "join" and 0 <= key < 2**16 for op, key in events)
+
+
+def test_inter_arrival_times_accumulate_in_virtual_time():
+    simulation = Simulation(seed=1)
+    events, sink = _collecting_sink()
+    process = (
+        StochasticProcess("steady")
+        .event_inter_arrival_time(constant(0.5))
+        .raise_events(10, lambda: "op")
+    )
+    Scenario().start(process).simulate(simulation, sink)
+    simulation.run()
+    assert simulation.now() == pytest.approx(5.0)
+
+
+def test_groups_of_one_process_interleave_randomly():
+    simulation = Simulation(seed=9)
+    events, sink = _collecting_sink()
+    churn = (
+        StochasticProcess("churn")
+        .event_inter_arrival_time(constant(0.1))
+        .raise_events(50, lambda key: ("join", key), key_uniform(16))
+        .raise_events(50, lambda key: ("fail", key), key_uniform(16))
+    )
+    Scenario().start(churn).simulate(simulation, sink)
+    simulation.run()
+    kinds = [kind for kind, _ in events]
+    assert kinds.count("join") == 50
+    assert kinds.count("fail") == 50
+    # Not all joins first: the two groups interleave.
+    assert "fail" in kinds[:50]
+
+
+def test_sequential_and_parallel_composition():
+    simulation = Simulation(seed=4)
+    timeline = []
+
+    def op(name):
+        def operation():
+            timeline.append((simulation.now(), name))
+            return None
+
+        return operation
+
+    boot = (
+        StochasticProcess("boot")
+        .event_inter_arrival_time(constant(1.0))
+        .raise_events(3, op("boot"))
+    )
+    churn = (
+        StochasticProcess("churn")
+        .event_inter_arrival_time(constant(1.0))
+        .raise_events(3, op("churn"))
+    )
+    lookups = (
+        StochasticProcess("lookups")
+        .event_inter_arrival_time(constant(0.25))
+        .raise_events(4, op("lookup"))
+    )
+    scenario = Scenario()
+    scenario.start(boot)
+    scenario.start_after_termination_of(2.0, boot, churn)
+    scenario.start_after_start_of(1.0, churn, lookups)
+    scenario.terminate_after_termination_of(1.0, lookups)
+
+    scenario.simulate(simulation, lambda e: None)
+    reason = simulation.run()
+
+    boot_times = [t for t, n in timeline if n == "boot"]
+    churn_times = [t for t, n in timeline if n == "churn"]
+    lookup_times = [t for t, n in timeline if n == "lookup"]
+    assert boot_times == [1.0, 2.0, 3.0]
+    # churn starts 2s after boot terminates (t=3), first event at 3+2+1.
+    assert churn_times[0] == pytest.approx(6.0)
+    # lookups start 1s after churn starts (t=5): first event at 5+1+0.25.
+    assert lookup_times[0] == pytest.approx(6.25)
+    assert reason == "stopped"
+    # Termination fired 1s after lookups' last event (t=7.0) -> t=8.0.
+    assert simulation.now() == pytest.approx(7.0 + 1.0)
+
+
+def test_scenario_is_deterministic_per_seed():
+    def run(seed):
+        simulation = Simulation(seed=seed)
+        events, sink = _collecting_sink()
+        process = (
+            StochasticProcess("p")
+            .event_inter_arrival_time(exponential(1.0))
+            .raise_events(50, lambda a, b: (a, b), key_uniform(16), uniform_int(0, 9))
+        )
+        Scenario().start(process).simulate(simulation, sink)
+        simulation.run()
+        return events, simulation.now()
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)
+
+
+def test_misconfigured_process_is_rejected():
+    scenario = Scenario()
+    with pytest.raises(ConfigurationError):
+        scenario.start(StochasticProcess("empty"))
+    with pytest.raises(ConfigurationError):
+        scenario.start(
+            StochasticProcess("no-arrival").raise_events(1, lambda: None)
+        )
+    with pytest.raises(ConfigurationError):
+        StochasticProcess("zero").event_inter_arrival_time(constant(1)).raise_events(
+            0, lambda: None
+        )
+
+
+def test_execute_runs_same_scenario_in_real_time():
+    """Paper Fig 12 right: the same scenario drives a real-time system."""
+    from repro import ComponentSystem, WorkStealingScheduler
+
+    system = ComponentSystem(
+        scheduler=WorkStealingScheduler(workers=1), fault_policy="record", seed=3
+    )
+    system.scheduler.start()
+    events, sink = _collecting_sink()
+    process = (
+        StochasticProcess("fast")
+        .event_inter_arrival_time(constant(0.005))
+        .raise_events(10, lambda: "op")
+    )
+    scenario = Scenario().start(process).terminate_after_termination_of(0.0, process)
+    counters, done = scenario.execute(system, sink)
+    assert done.wait(timeout=5.0)
+    assert counters["fast"] == 10
+    assert len(events) == 10
+    system.shutdown()

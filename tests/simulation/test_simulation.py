@@ -1,0 +1,228 @@
+"""The deterministic simulation runtime: virtual time, SimTimer, emulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import ComponentDefinition, Start, handles
+from repro.core.errors import SimulationError
+from repro.network import Address, Message, Network, local_address
+from repro.simulation import (
+    ConstantLatency,
+    EmulatedNetwork,
+    SimTimer,
+    Simulation,
+    UniformLatency,
+    emulator_of,
+)
+from repro.timer import CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout, Timer, Timeout, new_timeout_id
+
+from tests.kit import Scaffold
+
+
+@dataclass(frozen=True)
+class Tick(Timeout):
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Datum(Message):
+    value: int = 0
+
+
+class Clocked(ComponentDefinition):
+    """Records (virtual time, label) for every tick."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.timer = self.requires(Timer)
+        self.ticks: list[tuple[float, str]] = []
+        self.subscribe(self.on_tick, self.timer)
+
+    @handles(Tick)
+    def on_tick(self, tick: Tick) -> None:
+        self.ticks.append((self.now(), tick.label))
+
+    def schedule(self, delay: float, label: str) -> int:
+        tid = new_timeout_id()
+        self.trigger(ScheduleTimeout(delay, Tick(tid, label)), self.timer)
+        return tid
+
+
+class SimNode(ComponentDefinition):
+    """A networked node under the emulator."""
+
+    def __init__(self, address: Address) -> None:
+        super().__init__()
+        self.address = address
+        self.network = self.requires(Network)
+        self.received: list[tuple[float, int]] = []
+        self.subscribe(self.on_datum, self.network, event_type=Datum)
+
+    def on_datum(self, message: Datum) -> None:
+        self.received.append((self.now(), message.value))
+
+    def send(self, to: Address, value: int) -> None:
+        self.trigger(Datum(self.address, to, value), self.network)
+
+
+def _timer_world():
+    simulation = Simulation(seed=7)
+    built = {}
+
+    def build(scaffold):
+        timer = scaffold.create(SimTimer)
+        user = scaffold.create(Clocked)
+        scaffold.connect(timer.provided(Timer), user.required(Timer))
+        built["user"] = user.definition
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built["user"]
+
+
+def test_virtual_time_advances_to_timeout_deadlines():
+    simulation, user = _timer_world()
+    simulation.run()
+    user.schedule(5.0, "five")
+    user.schedule(1.0, "one")
+    reason = simulation.run()
+    assert reason == "quiescent"
+    assert user.ticks == [(1.0, "one"), (5.0, "five")]
+    assert simulation.now() == 5.0
+
+
+def test_horizon_stops_before_future_events():
+    simulation, user = _timer_world()
+    user.schedule(10.0, "later")
+    reason = simulation.run(until=3.0)
+    assert reason == "horizon"
+    assert simulation.now() == 3.0
+    assert user.ticks == []
+    reason = simulation.run()
+    assert user.ticks == [(10.0, "later")]
+
+
+def test_cancel_in_virtual_time():
+    simulation, user = _timer_world()
+    tid = user.schedule(2.0, "doomed")
+    user.trigger(CancelTimeout(tid), user.timer)
+    simulation.run()
+    assert user.ticks == []
+
+
+def test_periodic_timeout_in_virtual_time():
+    simulation, user = _timer_world()
+    tid = new_timeout_id()
+    user.trigger(SchedulePeriodicTimeout(1.0, 0.5, Tick(tid, "p")), user.timer)
+    simulation.run(until=3.0)
+    times = [t for t, _ in user.ticks]
+    assert times == [1.0, 1.5, 2.0, 2.5, 3.0]
+
+
+def test_negative_delay_rejected():
+    simulation = Simulation()
+    with pytest.raises(SimulationError):
+        simulation.schedule(-1, lambda: None)
+
+
+def test_emulated_network_delivers_with_latency():
+    simulation = Simulation(seed=3)
+    addresses = [local_address(i, node_id=i) for i in (1, 2)]
+    built = {}
+
+    def build(scaffold):
+        for address in addresses:
+            net = scaffold.create(EmulatedNetwork, address)
+            node = scaffold.create(SimNode, address)
+            scaffold.connect(net.provided(Network), node.required(Network))
+            built[address.port] = node.definition
+
+    simulation.bootstrap(Scaffold, build)
+    emulator_of(simulation.system).latency = ConstantLatency(0.25)
+    simulation.run()
+    built[1].send(addresses[1], 42)
+    simulation.run()
+    assert built[2].received == [(0.25, 42)]
+
+
+def test_partition_blocks_and_heal_restores_traffic():
+    simulation = Simulation(seed=3)
+    addresses = [local_address(i, node_id=i) for i in (1, 2)]
+    built = {}
+
+    def build(scaffold):
+        for address in addresses:
+            net = scaffold.create(EmulatedNetwork, address)
+            node = scaffold.create(SimNode, address)
+            scaffold.connect(net.provided(Network), node.required(Network))
+            built[address.port] = node.definition
+
+    simulation.bootstrap(Scaffold, build)
+    core = emulator_of(simulation.system)
+    core.partition([addresses[0]], [addresses[1]])
+    simulation.run()
+    built[1].send(addresses[1], 1)
+    simulation.run()
+    assert built[2].received == []
+    assert core.dropped == 1
+
+    core.heal()
+    built[1].send(addresses[1], 2)
+    simulation.run()
+    assert [v for _, v in built[2].received] == [2]
+
+
+def test_message_loss_rate_is_applied():
+    simulation = Simulation(seed=5)
+    addresses = [local_address(i, node_id=i) for i in (1, 2)]
+    built = {}
+
+    def build(scaffold):
+        for address in addresses:
+            net = scaffold.create(EmulatedNetwork, address)
+            node = scaffold.create(SimNode, address)
+            scaffold.connect(net.provided(Network), node.required(Network))
+            built[address.port] = node.definition
+
+    simulation.bootstrap(Scaffold, build)
+    core = emulator_of(simulation.system)
+    core.loss_rate = 0.5
+    simulation.run()
+    for n in range(200):
+        built[1].send(addresses[1], n)
+    simulation.run()
+    received = len(built[2].received)
+    assert 50 < received < 150  # ~100 expected
+    assert core.lost == 200 - received
+
+
+def test_identical_seeds_produce_identical_executions():
+    def run_once(seed: int):
+        simulation = Simulation(seed=seed)
+        addresses = [local_address(i, node_id=i) for i in range(1, 6)]
+        nodes = {}
+
+        def build(scaffold):
+            for address in addresses:
+                net = scaffold.create(EmulatedNetwork, address)
+                node = scaffold.create(SimNode, address)
+                scaffold.connect(net.provided(Network), node.required(Network))
+                nodes[address.port] = node.definition
+
+        simulation.bootstrap(Scaffold, build)
+        emulator_of(simulation.system).latency = UniformLatency(0.001, 0.1)
+        simulation.run()
+        rng = simulation.system.random
+        for n in range(100):
+            sender = rng.choice(list(nodes.values()))
+            receiver = rng.choice(addresses)
+            sender.send(receiver, n)
+        simulation.run()
+        return {
+            port: tuple(node.received) for port, node in nodes.items()
+        }
+
+    assert run_once(11) == run_once(11)
+    assert run_once(11) != run_once(12)

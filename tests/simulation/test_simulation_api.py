@@ -1,0 +1,96 @@
+"""Simulation control surface: stop reasons, budgets, stepping."""
+
+from __future__ import annotations
+
+import pytest
+
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, Start, handles
+from repro.simulation import SimTimer, Simulation
+from repro.timer import ScheduleTimeout, Timeout, Timer, new_timeout_id
+
+from tests.kit import Scaffold
+
+
+@dataclass(frozen=True)
+class Beat(Timeout):
+    pass
+
+
+class Beater(ComponentDefinition):
+    """Schedules a chain of N timeouts, one per virtual second."""
+
+    def __init__(self, count: int) -> None:
+        super().__init__()
+        self.timer = self.requires(Timer)
+        self.remaining = count
+        self.beats: list[float] = []
+        self.subscribe(self.on_beat, self.timer)
+        self.subscribe(self.on_start, self.control)
+
+    def _arm(self) -> None:
+        self.trigger(ScheduleTimeout(1.0, Beat(new_timeout_id())), self.timer)
+
+    @handles(Start)
+    def on_start(self, _event) -> None:
+        if self.remaining:
+            self._arm()
+
+    @handles(Beat)
+    def on_beat(self, _beat: Beat) -> None:
+        self.beats.append(self.now())
+        self.remaining -= 1
+        if self.remaining:
+            self._arm()
+
+
+def _world(count=5):
+    simulation = Simulation(seed=1)
+    built = {}
+
+    def build(scaffold):
+        timer = scaffold.create(SimTimer)
+        built["beater"] = scaffold.create(Beater, count)
+        scaffold.connect(timer.provided(Timer), built["beater"].required(Timer))
+
+    simulation.bootstrap(Scaffold, build)
+    return simulation, built["beater"].definition
+
+
+def test_quiescent_when_all_work_is_done():
+    simulation, beater = _world(count=3)
+    assert simulation.run() == "quiescent"
+    assert beater.beats == [1.0, 2.0, 3.0]
+
+
+def test_budget_limits_dispatched_events():
+    simulation, beater = _world(count=100)
+    reason = simulation.run(max_dispatches=4)
+    assert reason == "budget"
+    assert len(beater.beats) == 4
+    assert simulation.run(max_dispatches=8) == "budget"
+    assert len(beater.beats) == 8
+
+
+def test_stop_requested_by_a_scheduled_action():
+    simulation, beater = _world(count=100)
+    simulation.schedule(4.5, simulation.stop)
+    reason = simulation.run()
+    assert reason == "stopped"
+    assert simulation.now() == 4.5
+    assert len(beater.beats) == 4
+
+
+def test_horizon_leaves_future_events_intact():
+    simulation, beater = _world(count=10)
+    assert simulation.run(until=3.5) == "horizon"
+    assert len(beater.beats) == 3
+    assert simulation.run(until=20.0) == "quiescent"
+    assert len(beater.beats) == 10
+
+
+def test_events_dispatched_counter_is_cumulative():
+    simulation, beater = _world(count=4)
+    simulation.run()
+    assert simulation.events_dispatched == 4

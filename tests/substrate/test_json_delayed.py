@@ -1,0 +1,145 @@
+"""JsonCodec registry semantics and the delayed loopback transport."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import ComponentDefinition, ComponentSystem, WorkStealingScheduler, handles
+from repro.network import (
+    Address,
+    DelayedLoopbackNetwork,
+    FrameCodec,
+    JsonCodec,
+    Message,
+    Network,
+    SerializationError,
+    local_address,
+    register_message,
+)
+from repro.simulation.latency import ConstantLatency
+
+from tests.kit import Scaffold, wait_until
+
+
+@register_message
+@dataclass(frozen=True)
+class JsonHello(Message):
+    text: str = ""
+    blob: bytes = b""
+    peers: tuple = ()
+    meta: dict = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Unregistered(Message):
+    pass
+
+
+class TestJsonCodec:
+    def setup_method(self):
+        self.codec = JsonCodec()
+        self.a = local_address(1, node_id=1)
+        self.b = local_address(2)
+
+    def test_round_trip_with_nested_values(self):
+        message = JsonHello(
+            self.a, self.b,
+            text="hi",
+            blob=b"\x00\x01binary",
+            peers=(self.a, self.b),
+            meta={"k": 1, "nested": (1, 2)},
+        )
+        decoded = self.codec.decode(self.codec.encode(message))
+        assert decoded.text == "hi"
+        assert decoded.blob == b"\x00\x01binary"
+        assert decoded.peers == (self.a, self.b)
+        assert decoded.meta == {"k": 1, "nested": (1, 2)}
+        assert decoded.source == self.a and decoded.destination == self.b
+        assert decoded.source.node_id == 1
+
+    def test_unregistered_type_cannot_encode(self):
+        with pytest.raises(SerializationError, match="not registered"):
+            self.codec.encode(Unregistered(self.a, self.b))
+
+    def test_unknown_type_cannot_decode(self):
+        with pytest.raises(SerializationError, match="unknown message type"):
+            self.codec.decode(b'{"t":"Ghost","f":{}}')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            self.codec.decode(b"not json at all {")
+
+    def test_registration_collision_detected(self):
+        class JsonHello2(Message):
+            pass
+
+        JsonHello2.__name__ = "JsonHello"
+        from dataclasses import dataclass as dc
+
+        with pytest.raises(SerializationError, match="collision"):
+            register_message(dc(frozen=True)(JsonHello2))
+
+    def test_codec_plugs_into_frame_codec(self):
+        frame_codec = FrameCodec(codec=JsonCodec(), compress_threshold=64)
+        message = JsonHello(self.a, self.b, text="z" * 500)
+        assert frame_codec.unframe(frame_codec.frame(message)).text == "z" * 500
+
+
+class DelayedNode(ComponentDefinition):
+    def __init__(self, address: Address) -> None:
+        super().__init__()
+        self.address = address
+        self.network = self.requires(Network)
+        self.arrivals: list[tuple[float, str]] = []
+        self.subscribe(self.on_hello, self.network, event_type=JsonHello)
+
+    def on_hello(self, message: JsonHello) -> None:
+        self.arrivals.append((self.now(), message.text))
+
+    def say(self, to: Address, text: str) -> None:
+        self.trigger(JsonHello(self.address, to, text=text), self.network)
+
+
+class TestDelayedLoopback:
+    def _pair(self, latency, loss_rate=0.0):
+        system = ComponentSystem(
+            scheduler=WorkStealingScheduler(workers=2), fault_policy="record", seed=1
+        )
+        built = {}
+
+        def build(scaffold):
+            for n in (1, 2):
+                address = local_address(n, node_id=n)
+                net = scaffold.create(
+                    DelayedLoopbackNetwork, address,
+                    latency=latency, loss_rate=loss_rate,
+                )
+                node = scaffold.create(DelayedNode, address)
+                scaffold.connect(net.provided(Network), node.required(Network))
+                built[n] = {"net": net.definition, "node": node.definition}
+
+        system.bootstrap(Scaffold, build)
+        return system, built
+
+    def test_delivery_is_delayed_by_the_model(self):
+        system, built = self._pair(latency=ConstantLatency(0.05))
+        sender, receiver = built[1]["node"], built[2]["node"]
+        send_time = sender.now()
+        sender.say(receiver.address, "delayed")
+        assert wait_until(lambda: len(receiver.arrivals) == 1)
+        arrival_time, text = receiver.arrivals[0]
+        assert text == "delayed"
+        assert arrival_time - send_time >= 0.045
+        system.shutdown()
+
+    def test_loss_rate_drops_messages(self):
+        system, built = self._pair(latency=ConstantLatency(0.001), loss_rate=1.0)
+        built[1]["node"].say(built[2]["node"].address, "void")
+        assert wait_until(lambda: built[1]["net"].lost == 1)
+        import time
+
+        time.sleep(0.05)
+        assert built[2]["node"].arrivals == []
+        system.shutdown()

@@ -1,0 +1,109 @@
+"""The Timer abstraction under the production ThreadTimer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, ComponentSystem, Start, WorkStealingScheduler, handles
+from repro.timer import (
+    CancelPeriodicTimeout,
+    CancelTimeout,
+    ScheduleTimeout,
+    SchedulePeriodicTimeout,
+    ThreadTimer,
+    Timeout,
+    Timer,
+    new_timeout_id,
+)
+
+from tests.kit import Scaffold, wait_until
+
+
+@dataclass(frozen=True)
+class Tick(Timeout):
+    label: str = ""
+
+
+class TimerUser(ComponentDefinition):
+    def __init__(self) -> None:
+        super().__init__()
+        self.timer = self.requires(Timer)
+        self.ticks: list[Tick] = []
+        self.subscribe(self.on_tick, self.timer)
+
+    @handles(Tick)
+    def on_tick(self, tick: Tick) -> None:
+        self.ticks.append(tick)
+
+    def schedule(self, delay: float, label: str) -> int:
+        tid = new_timeout_id()
+        self.trigger(ScheduleTimeout(delay, Tick(tid, label)), self.timer)
+        return tid
+
+    def schedule_periodic(self, delay: float, period: float, label: str) -> int:
+        tid = new_timeout_id()
+        self.trigger(SchedulePeriodicTimeout(delay, period, Tick(tid, label)), self.timer)
+        return tid
+
+
+def _system():
+    system = ComponentSystem(
+        scheduler=WorkStealingScheduler(workers=2), fault_policy="record"
+    )
+    built = {}
+
+    def build(scaffold):
+        built["timer"] = scaffold.create(ThreadTimer)
+        built["user"] = scaffold.create(TimerUser)
+        scaffold.connect(built["timer"].provided(Timer), built["user"].required(Timer))
+
+    system.bootstrap(Scaffold, build)
+    return system, built["user"].definition
+
+
+def test_one_shot_timeout_fires_once():
+    system, user = _system()
+    user.schedule(0.02, "once")
+    assert wait_until(lambda: len(user.ticks) == 1)
+    assert user.ticks[0].label == "once"
+    import time
+
+    time.sleep(0.05)
+    assert len(user.ticks) == 1
+    system.shutdown()
+
+
+def test_timeouts_fire_in_deadline_order():
+    system, user = _system()
+    user.schedule(0.08, "late")
+    user.schedule(0.02, "early")
+    assert wait_until(lambda: len(user.ticks) == 2)
+    assert [t.label for t in user.ticks] == ["early", "late"]
+    system.shutdown()
+
+
+def test_cancel_before_fire_suppresses_timeout():
+    system, user = _system()
+    tid = user.schedule(0.08, "doomed")
+    user.trigger(CancelTimeout(tid), user.timer)
+    user.schedule(0.03, "kept")
+    assert wait_until(lambda: len(user.ticks) == 1)
+    import time
+
+    time.sleep(0.1)
+    assert [t.label for t in user.ticks] == ["kept"]
+    system.shutdown()
+
+
+def test_periodic_timeout_repeats_until_cancelled():
+    system, user = _system()
+    tid = user.schedule_periodic(0.01, 0.01, "tick")
+    assert wait_until(lambda: len(user.ticks) >= 4, timeout=3)
+    user.trigger(CancelPeriodicTimeout(tid), user.timer)
+    import time
+
+    time.sleep(0.05)
+    count = len(user.ticks)
+    time.sleep(0.08)
+    assert len(user.ticks) <= count + 1  # at most one in-flight straggler
+    system.shutdown()

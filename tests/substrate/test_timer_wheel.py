@@ -1,0 +1,110 @@
+"""Unit tests for the shared timer wheel (production timer backend)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime.clock import MonotonicClock
+from repro.timer.wheel import TimerWheel
+
+from tests.kit import wait_until
+
+
+def make_wheel():
+    return TimerWheel(MonotonicClock())
+
+
+def test_one_shot_fires_once():
+    wheel = make_wheel()
+    fired = []
+    wheel.schedule(0.02, lambda: fired.append(1))
+    assert wait_until(lambda: fired == [1])
+    time.sleep(0.05)
+    assert fired == [1]
+    assert wheel.pending == 0
+    wheel.close()
+
+
+def test_deadline_ordering():
+    wheel = make_wheel()
+    fired = []
+    wheel.schedule(0.06, lambda: fired.append("late"))
+    wheel.schedule(0.02, lambda: fired.append("early"))
+    assert wait_until(lambda: len(fired) == 2)
+    assert fired == ["early", "late"]
+    wheel.close()
+
+
+def test_cancel_prevents_firing():
+    wheel = make_wheel()
+    fired = []
+    key = wheel.schedule(0.05, lambda: fired.append("doomed"))
+    assert wheel.cancel(key)
+    time.sleep(0.1)
+    assert fired == []
+    assert not wheel.cancel(key)  # second cancel reports unknown
+    wheel.close()
+
+
+def test_cancel_after_fire_returns_false():
+    wheel = make_wheel()
+    fired = []
+    key = wheel.schedule(0.01, lambda: fired.append(1))
+    assert wait_until(lambda: fired == [1])
+    assert not wheel.cancel(key)
+    wheel.close()
+
+
+def test_periodic_repeats_until_cancelled():
+    wheel = make_wheel()
+    fired = []
+    key = wheel.schedule(0.01, lambda: fired.append(1), period=0.01)
+    assert wait_until(lambda: len(fired) >= 3)
+    wheel.cancel(key)
+    time.sleep(0.03)
+    count = len(fired)
+    time.sleep(0.05)
+    assert len(fired) <= count + 1
+    wheel.close()
+
+
+def test_callback_exception_does_not_kill_the_wheel():
+    wheel = make_wheel()
+    fired = []
+
+    def explode():
+        raise RuntimeError("timer boom")
+
+    wheel.schedule(0.01, explode)
+    wheel.schedule(0.03, lambda: fired.append("survivor"))
+    assert wait_until(lambda: fired == ["survivor"])
+    wheel.close()
+
+
+def test_explicit_keys_are_honored():
+    wheel = make_wheel()
+    fired = []
+    wheel.schedule(0.05, lambda: fired.append(1), key=4242)
+    assert wheel.cancel(4242)
+    time.sleep(0.08)
+    assert fired == []
+    wheel.close()
+
+
+def test_close_is_idempotent_and_concurrent_schedule_safe():
+    wheel = make_wheel()
+    results = []
+
+    def hammer():
+        for _ in range(50):
+            wheel.schedule(0.001, lambda: results.append(1))
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert wait_until(lambda: len(results) == 200, timeout=5)
+    wheel.close()
+    wheel.close()
