@@ -1,0 +1,76 @@
+"""Sanitizer overhead: the default-off path must cost nothing measurable.
+
+The sanitizer is wired into three hot spots (``dispatch.trigger``,
+``ComponentCore._run_handlers``, ``Event.__setattr__``).  Each hook is a
+module-level variable that is ``None`` unless sanitize mode is on — the
+default path pays one load+is-None test per trigger/execution and keeps
+``Event`` free of any ``__setattr__`` override.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_sanitizer_overhead.py -q
+
+Compare the ``off`` and ``on`` round-trip rates; ``off`` must match
+``bench_core_ops.py::test_event_round_trip_rate`` (same workload).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import sanitizer
+
+from tests.kit import Collector, EchoServer, Ping, PingPort, Scaffold, make_system
+
+
+def build_world():
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["client"] = scaffold.create(Collector, count=0)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    system.await_quiescence()
+    return system, built
+
+
+def test_default_path_has_no_hooks_installed():
+    """The zero-overhead claim, verified structurally: with the sanitizer
+    off there is nothing to pay for — no hook objects, no Event guard."""
+    from repro.core import component as component_mod
+    from repro.core import dispatch as dispatch_mod
+    from repro.core import event as event_mod
+
+    assert not sanitizer.is_enabled()
+    assert dispatch_mod._sanitizer_seal is None
+    assert component_mod._sanitizer_monitor is None
+    assert event_mod._mutation_check is None
+    # Event has no instance-level __setattr__/__delattr__ override: plain
+    # object slot access, exactly as if the analysis package didn't exist.
+    from repro.core.event import Event
+
+    assert "__setattr__" not in Event.__dict__
+    assert "__delattr__" not in Event.__dict__
+
+
+@pytest.mark.parametrize("sanitize", [False, True], ids=["off", "on"])
+def test_round_trip_rate(benchmark, sanitize):
+    """trigger -> channel -> handler -> reply -> handler, sanitizer off/on."""
+    if sanitize:
+        sanitizer.enable()
+    try:
+        system, built = build_world()
+        client = built["client"].definition
+
+        def round_trip():
+            client.trigger(Ping(1), client.port)
+            system.await_quiescence()
+
+        benchmark(round_trip)
+        system.shutdown()
+    finally:
+        if sanitize:
+            sanitizer.disable()

@@ -25,22 +25,23 @@ from repro.runtime import Tracer
 from repro.simulation import Simulation
 
 
+class Main(ComponentDefinition):
+    """Root of the simulated world: hosts the CATS experiment driver."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sim = self.create(
+            CatsSimulator,
+            CatsConfig(key_space=KeySpace(bits=16), replication_degree=3),
+        )
+
+
 def build_world(seed: int) -> tuple[Simulation, object, Tracer]:
     tracer = Tracer()
     simulation = Simulation(seed=seed)
     simulation.system.tracer = tracer
-    built = {}
-
-    class Main(ComponentDefinition):
-        def __init__(self) -> None:
-            super().__init__()
-            built["sim"] = self.create(
-                CatsSimulator,
-                CatsConfig(key_space=KeySpace(bits=16), replication_degree=3),
-            )
-
-    simulation.bootstrap(Main)
-    return simulation, built["sim"].definition, tracer
+    root = simulation.bootstrap(Main)
+    return simulation, root.definition.sim.definition, tracer
 
 
 def run_workload(seed: int) -> tuple[int, int, dict]:

@@ -23,6 +23,7 @@ import os
 import sys
 import time
 
+from repro import ComponentDefinition
 from repro.cats import (
     CatsConfig,
     CatsSimulator,
@@ -57,6 +58,17 @@ def cats_lookup(node_key, key):
     return LookupCmd(node_key, key)
 
 
+class Main(ComponentDefinition):
+    """Root of the simulated world: hosts the CATS experiment driver."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sim = self.create(
+            CatsSimulator,
+            CatsConfig(key_space=KeySpace(bits=16), replication_degree=3),
+        )
+
+
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
     scale = int(os.environ.get("REPRO_SCALE", "40"))
@@ -83,21 +95,9 @@ def main() -> None:
     scenario.start_after_start_of(3.0, churn, lookups)
     scenario.terminate_after_termination_of(1.0, lookups)
 
-    from repro import ComponentDefinition
-
     simulation = Simulation(seed=seed)
-    built = {}
-
-    class Main(ComponentDefinition):
-        def __init__(self):
-            super().__init__()
-            built["sim"] = self.create(
-                CatsSimulator,
-                CatsConfig(key_space=KeySpace(bits=16), replication_degree=3),
-            )
-
-    simulation.bootstrap(Main)
-    simulator = built["sim"].definition
+    root = simulation.bootstrap(Main)
+    simulator = root.definition.sim.definition
 
     def sink(command):
         trigger(command, simulator.core.port(Experiment, provided=True).outside)

@@ -56,6 +56,15 @@ from .runtime import (
 
 __version__ = "1.0.0"
 
+# Opt-in runtime sanitizer (REPRO_SANITIZE=1): imported lazily so the
+# default path never loads the analysis package.
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE", "").strip():
+    from .analysis.sanitizer import activate_from_env as _activate_sanitizer
+
+    _activate_sanitizer()
+
 __all__ = [
     "Channel",
     "Component",

@@ -1,0 +1,42 @@
+"""Architecture analysis for the component model: three coordinated passes.
+
+1. **AST lint** (:mod:`.ast_lint`, rules ``A001``–``A005``) — inspects
+   :class:`~repro.core.component.ComponentDefinition` subclasses without
+   importing them, flagging handler code that breaks the model's contract
+   (event mutation, blocking calls, cross-component state access,
+   untypeable subscriptions, undeclared trigger types).
+2. **Wiring verifier** (:mod:`.wiring`, rules ``W001``–``W004``) — walks an
+   assembled (not started) component tree and reports disconnected required
+   ports, subscriptions no trigger site can reach, duplicate subscriptions,
+   and channel anomalies.
+3. **Runtime sanitizer** (:mod:`.sanitizer`, rules ``S001``–``S002``) —
+   opt-in dynamic checks that raise at the exact moment a delivered event
+   is mutated or a component's handlers run re-entrantly.
+
+Command line: ``python -m repro.analysis src/repro examples``.
+See ``docs/analysis.md`` for the full rule catalogue and suppression
+syntax (``# repro: noqa[A001]``, ``[tool.repro.analysis]``).
+"""
+
+from .ast_lint import lint_paths
+from .config import AnalysisConfig, load_config
+from .findings import RULES, Finding, Rule, to_json
+from .sanitizer import activate_from_env, disable, enable, is_enabled, sanitized
+from .wiring import verify_system, verify_tree
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "RULES",
+    "Rule",
+    "activate_from_env",
+    "disable",
+    "enable",
+    "is_enabled",
+    "lint_paths",
+    "load_config",
+    "sanitized",
+    "to_json",
+    "verify_system",
+    "verify_tree",
+]

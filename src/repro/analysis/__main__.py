@@ -1,0 +1,17 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream closed early (e.g. ``| head``): exit quietly like any
+    # well-behaved filter.  Re-point stdout at devnull so the interpreter's
+    # shutdown flush doesn't raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

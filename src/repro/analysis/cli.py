@@ -1,0 +1,132 @@
+"""Command-line front-end: ``python -m repro.analysis <paths>``.
+
+Runs the AST lint over every Python file reachable from the given paths
+and reports findings in text or JSON form.  Exit status: 0 when clean,
+1 when findings were reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .ast_lint import lint_paths
+from .config import AnalysisConfig, find_pyproject, load_config
+from .findings import RULES, to_json
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Kompics architecture linter: static analysis of component "
+            "definitions (rules A*), plus the wiring verifier (W*) and "
+            "runtime sanitizer (S*) available via the library API."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (directories are walked recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule prefixes to enable (e.g. A001,W)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule prefixes to disable",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro.analysis] from "
+        "(default: nearest one above the first path)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_csv(values: Optional[Sequence[str]]) -> tuple[str, ...]:
+    if not values:
+        return ()
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return tuple(out)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id}  {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    pyproject = args.config
+    if pyproject is None:
+        pyproject = find_pyproject(args.paths[0])
+    try:
+        config = load_config(pyproject) if pyproject else AnalysisConfig()
+    except Exception as exc:  # noqa: BLE001 - report config errors as usage errors
+        print(f"error: bad config {pyproject}: {exc}", file=sys.stderr)
+        return 2
+    config = config.merged(
+        select=_split_csv(args.select) if args.select else None,
+        ignore=_split_csv(args.ignore) if args.ignore else None,
+    )
+
+    findings = lint_paths(args.paths, config=config)
+
+    if args.format == "json":
+        print(to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"\n{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

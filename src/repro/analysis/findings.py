@@ -1,0 +1,173 @@
+"""Findings: the common currency of all three analysis passes.
+
+Every pass (AST lint, wiring verifier, runtime sanitizer) reports
+:class:`Finding` records tagged with a stable rule id.  Rule ids are
+grouped by pass:
+
+- ``A0xx`` — AST lint rules (source-level, per file/line)
+- ``W0xx`` — wiring verifier rules (structural, per component/port)
+- ``S0xx`` — runtime sanitizer violations (raised as exceptions, but
+  catalogued here so docs and suppression share one namespace)
+
+A finding is suppressed at the source line with a trailing
+``# repro: noqa[A001]`` comment (see :mod:`repro.analysis.config` for
+rule selection via ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analysis rule."""
+
+    id: str
+    name: str
+    summary: str
+    pass_: str  # "ast" | "wiring" | "sanitizer"
+
+
+#: The rule catalogue.  Keep ids stable: they appear in suppression
+#: comments and pyproject select/ignore tables.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(id: str, name: str, summary: str, pass_: str) -> Rule:
+    rule = Rule(id, name, summary, pass_)
+    if id in RULES:
+        raise ValueError(f"duplicate rule id {id}")
+    RULES[id] = rule
+    return rule
+
+
+register_rule(
+    "A001", "event-mutation",
+    "handler mutates an attribute of the event it received (events are "
+    "immutable shared values; fan-out aliases one object to many handlers)",
+    "ast",
+)
+register_rule(
+    "A002", "blocking-call",
+    "handler performs a blocking call (time.sleep, socket or file I/O); "
+    "handlers must be non-blocking so a worker is never stalled",
+    "ast",
+)
+register_rule(
+    "A003", "foreign-state-access",
+    "handler reaches into another component's state via .definition/.core "
+    "(components share nothing; communicate through events)",
+    "ast",
+)
+register_rule(
+    "A004", "subscribe-without-handles",
+    "self.subscribe() of a method that has no @handles declaration and no "
+    "explicit event_type= (would raise SubscriptionError at runtime)",
+    "ast",
+)
+register_rule(
+    "A005", "undeclared-trigger",
+    "trigger of an event type not declared in the emit direction of the "
+    "port it is triggered on (would raise PortTypeError at runtime)",
+    "ast",
+)
+register_rule(
+    "W001", "unconnected-required-port",
+    "a required port has no channel attached to its outside face: events "
+    "triggered on it vanish and its indications can never arrive",
+    "wiring",
+)
+register_rule(
+    "W002", "dead-subscription",
+    "a subscription cannot be reached from any trigger site through the "
+    "assembled channel graph (dead handler)",
+    "wiring",
+)
+register_rule(
+    "W003", "duplicate-subscription",
+    "the same handler is subscribed twice to one port face for the same "
+    "event type: every matching event executes it twice",
+    "wiring",
+)
+register_rule(
+    "W004", "channel-anomaly",
+    "channel graph anomaly: duplicate parallel channel, held channel, or "
+    "an unplugged channel end at verification time",
+    "wiring",
+)
+register_rule(
+    "S001", "event-mutated-after-delivery",
+    "an event object was mutated after being triggered (sanitizer mode; "
+    "raises EventMutationError at the mutation site)",
+    "sanitizer",
+)
+register_rule(
+    "S002", "handler-reentrancy",
+    "a component's handlers ran re-entrantly or on two threads at once "
+    "(sanitizer mode; raises ReentrancyError)",
+    "sanitizer",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation."""
+
+    rule: str
+    message: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
+    obj: Optional[str] = None  # component/port path for wiring findings
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def pass_(self) -> str:
+        return RULES[self.rule].pass_
+
+    def location(self) -> str:
+        if self.file is not None:
+            where = self.file
+            if self.line is not None:
+                where += f":{self.line}"
+                if self.col is not None:
+                    where += f":{self.col}"
+            return where
+        return self.obj or "<unknown>"
+
+    def format(self) -> str:
+        return f"{self.location()}: {self.rule} [{RULES[self.rule].name}] {self.message}"
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "name": RULES[self.rule].name,
+            "message": self.message,
+        }
+        for key in ("file", "line", "col", "obj"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        if self.extra:
+            data["extra"] = self.extra
+        return data
+
+
+def to_json(findings: list[Finding]) -> str:
+    """Machine-readable report (stable shape; consumed by CI tooling)."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [f.to_dict() for f in findings],
+            "counts": counts,
+            "total": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,23 @@
+"""AST lint rules (A001–A005).
+
+Each rule module exposes ``check(ctx) -> Iterator[(rule_id, message, node)]``
+where ``ctx`` is a
+:class:`~repro.analysis.ast_lint.ComponentClassContext`.  Rules never
+import or execute user code; they reason over the syntax tree plus the
+name-level :class:`~repro.analysis.ast_lint.ProjectIndex` and stay silent
+whenever a name cannot be grounded in the index.
+"""
+
+from __future__ import annotations
+
+from . import blocking, isolation, mutation, subscriptions, triggers
+
+AST_CHECKS = (
+    mutation.check,        # A001 event-mutation
+    blocking.check,        # A002 blocking-call
+    isolation.check,       # A003 foreign-state-access
+    subscriptions.check,   # A004 subscribe-without-handles
+    triggers.check,        # A005 undeclared-trigger
+)
+
+__all__ = ["AST_CHECKS"]

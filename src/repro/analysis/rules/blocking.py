@@ -1,0 +1,81 @@
+"""A002: blocking calls inside event handlers.
+
+Handlers execute on scheduler workers; a handler that sleeps or performs
+synchronous I/O stalls a whole worker (paper section 3: handlers must be
+non-blocking; long-running work belongs in dedicated components that
+bridge to threads, like TcpNetwork and ThreadTimer do outside their
+handlers).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+RULE = "A002"
+
+#: Dotted call targets that block (resolved through the module's imports).
+BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.request",
+        "select.select",
+        "os.system",
+    }
+)
+
+#: Bare builtins that block.
+BLOCKING_BARE = frozenset({"open", "input"})
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def check(ctx) -> Iterator[tuple[str, str, ast.AST]]:
+    imports = ctx.module.imports
+    for handler in ctx.handler_methods():
+        for node in ast.walk(handler.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = _resolve(dotted, imports)
+            if resolved in BLOCKING_DOTTED or (
+                "." not in dotted and dotted in BLOCKING_BARE
+            ):
+                yield (
+                    RULE,
+                    f"handler {handler.name}() calls blocking {resolved or dotted}(): "
+                    f"handlers must not block a scheduler worker",
+                    node,
+                )
+
+
+def _resolve(dotted: str, imports: dict[str, str]) -> Optional[str]:
+    """Map a call like ``sleep(...)`` or ``t.sleep(...)`` through imports."""
+    head, _, rest = dotted.partition(".")
+    target = imports.get(head)
+    if target is None:
+        return dotted if dotted in BLOCKING_DOTTED else None
+    return f"{target}.{rest}" if rest else target

@@ -1,0 +1,46 @@
+"""A003: a handler reaches into another component's state.
+
+Components share nothing (paper section 2.1): all interaction flows
+through events on ports.  Dereferencing ``<component>.definition.<attr>``
+or ``<component>.core.<attr>`` from a *handler* reads or writes state that
+is concurrently owned by another component's mutually-exclusive handler
+executions — a data race under the multi-core scheduler.
+
+Construction-time access (``__init__``, before anything executes) is the
+sanctioned assembly idiom — e.g. reading a child's bound address while
+wiring — and is not flagged; neither are driver scripts outside component
+classes, which synchronize externally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+RULE = "A003"
+
+
+def check(ctx) -> Iterator[tuple[str, str, ast.AST]]:
+    for handler in ctx.handler_methods():
+        if handler.name == "__init__":
+            continue
+        for node in ast.walk(handler.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            inner = node.value
+            if (
+                isinstance(inner, ast.Attribute)
+                and inner.attr in ("definition", "core")
+                and not _is_self(inner.value)
+            ):
+                yield (
+                    RULE,
+                    f"handler {handler.name}() accesses "
+                    f"{ast.unparse(node)}: share-nothing violation — "
+                    f"communicate through events instead",
+                    node,
+                )
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"

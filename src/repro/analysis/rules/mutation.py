@@ -1,0 +1,92 @@
+"""A001: a handler mutates the event it received.
+
+The runtime fans one event *object* out to every compatible subscriber
+(paper section 2.3) and may execute those handlers on different worker
+threads.  Any in-place mutation of the event — attribute assignment,
+``del``, item assignment, or a mutating container-method call on an
+attribute reached through the event — is therefore an aliasing data race,
+even when it "works" under one subscriber.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Method names that mutate common containers in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "add", "discard", "update", "setdefault", "popitem",
+        "appendleft", "popleft", "extendleft",
+    }
+)
+
+RULE = "A001"
+
+
+def _chain_root(node: ast.expr) -> ast.expr:
+    """Innermost expression of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _rooted_in(node: ast.expr, param: str) -> bool:
+    """Is this attribute/subscript chain anchored at the event parameter?"""
+    if not isinstance(node, (ast.Attribute, ast.Subscript)):
+        return False
+    root = _chain_root(node)
+    return isinstance(root, ast.Name) and root.id == param
+
+
+def check(ctx) -> Iterator[tuple[str, str, ast.AST]]:
+    for handler in ctx.handler_methods():
+        param = handler.event_param
+        if param is None:
+            continue
+        for node in ast.walk(handler.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in _flatten_targets(targets):
+                    if _rooted_in(target, param):
+                        yield (
+                            RULE,
+                            f"handler {handler.name}() assigns to "
+                            f"{ast.unparse(target)}: events are immutable "
+                            f"shared values (copy-on-write instead)",
+                            node,
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if _rooted_in(target, param):
+                        yield (
+                            RULE,
+                            f"handler {handler.name}() deletes "
+                            f"{ast.unparse(target)} from a received event",
+                            node,
+                        )
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr in MUTATING_METHODS
+                    and _rooted_in(fn.value, param)
+                ):
+                    yield (
+                        RULE,
+                        f"handler {handler.name}() calls "
+                        f"{ast.unparse(fn)}(): in-place mutation of state "
+                        f"reached through a received event",
+                        node,
+                    )
+
+
+def _flatten_targets(targets: list[ast.expr]) -> Iterator[ast.expr]:
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(list(target.elts))
+        else:
+            yield target

@@ -1,0 +1,36 @@
+"""A004: ``self.subscribe`` of a method without ``@handles``.
+
+``make_subscription`` raises ``SubscriptionError`` at runtime when the
+handler carries no ``@handles`` declaration and no ``event_type=`` was
+passed — but that only fires when the component is actually constructed.
+This rule catches it at lint time, including handlers inherited from
+indexed base classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..ast_lint import _self_method_ref
+
+RULE = "A004"
+
+
+def check(ctx) -> Iterator[tuple[str, str, ast.AST]]:
+    for call in ctx.subscribe_calls:
+        if any(kw.arg == "event_type" for kw in call.keywords):
+            continue
+        method = _self_method_ref(call)
+        if method is None:
+            continue
+        handler = ctx.index.lookup_method(ctx.info.name, method)
+        if handler is None:
+            continue  # not resolvable in the index: stay silent
+        if handler.event_type is None:
+            yield (
+                RULE,
+                f"subscribe(self.{method}, ...) but {method}() has no "
+                f"@handles declaration and no event_type= was given",
+                call,
+            )

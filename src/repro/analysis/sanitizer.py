@@ -1,0 +1,185 @@
+"""Runtime sanitizer: dynamic enforcement of the model's safety contract.
+
+Opt-in (``REPRO_SANITIZE=1``, :func:`enable`, the :func:`sanitized`
+context manager, or ``ComponentHarness(..., sanitize=True)``).  While
+active, two invariants the paper takes as axioms (§2.1, §3) are enforced
+at the exact moment they are broken:
+
+**S001 — events are immutable after triggering.**  ``dispatch.trigger``
+seals every event; the debug ``__setattr__``/``__delattr__`` guard on
+:class:`~repro.core.event.Event` then raises
+:class:`~repro.core.errors.EventMutationError` on any later mutation.
+Fan-out shares one event object among all subscribers, so a handler that
+mutates "its" event is racing every other subscriber.
+
+**S002 — handlers of one component are mutually exclusive.**  Handler
+execution is tagged with its worker thread; entering a component whose
+handlers are already running (same thread: illegal recursion into the
+execution machinery; different thread: a scheduler-bypass race) raises
+:class:`~repro.core.errors.ReentrancyError`.
+
+Everything is installed as hooks that are ``None`` on the default path —
+disabling the sanitizer removes all cost (measured in
+``benchmarks/bench_sanitizer_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..core import component as component_mod
+from ..core import dispatch as dispatch_mod
+from ..core import event as event_mod
+from ..core.errors import EventMutationError, ReentrancyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.component import ComponentCore
+    from ..core.event import Event
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+
+class _ExecutionMonitor:
+    """Tracks which thread is executing each component's handlers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active: dict[int, tuple[str, str]] = {}  # id(core) -> (name, thread)
+        self._local = threading.local()
+
+    def enter(self, core: "ComponentCore") -> None:
+        me = threading.current_thread().name
+        with self._lock:
+            previous = self._active.get(id(core))
+            if previous is not None:
+                _, other_thread = previous
+                if other_thread == me:
+                    raise ReentrancyError(
+                        f"[S002] handlers of {core.name} re-entered on thread "
+                        f"{me!r}: handler code must never invoke the execution "
+                        f"machinery recursively"
+                    )
+                raise ReentrancyError(
+                    f"[S002] handlers of {core.name} executing concurrently on "
+                    f"threads {other_thread!r} and {me!r}: the scheduler's "
+                    f"mutual-exclusion guarantee was bypassed"
+                )
+            self._active[id(core)] = (core.name, me)
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(core.name)
+
+    def exit(self, core: "ComponentCore") -> None:
+        me = threading.current_thread().name
+        with self._lock:
+            entry = self._active.get(id(core))
+            if entry is not None and entry[1] == me:
+                del self._active[id(core)]
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack.pop()
+
+    def current_component(self) -> Optional[str]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+
+class _SanitizerState:
+    def __init__(self) -> None:
+        self.sealed_ids: set[int] = set()
+        self.monitor = _ExecutionMonitor()
+        self.refcount = 0
+
+
+_state: Optional[_SanitizerState] = None
+_state_lock = threading.Lock()
+
+
+def is_enabled() -> bool:
+    return _state is not None
+
+
+def enable() -> None:
+    """Turn the sanitizer on (refcounted; pair every call with disable())."""
+    global _state
+    with _state_lock:
+        if _state is None:
+            _state = _SanitizerState()
+            dispatch_mod._sanitizer_seal = _seal
+            component_mod._sanitizer_monitor = _state.monitor
+            event_mod._install_mutation_guard(_check_mutation)
+        _state.refcount += 1
+
+
+def disable() -> None:
+    """Undo one enable(); the last disable removes every hook."""
+    global _state
+    with _state_lock:
+        if _state is None:
+            return
+        _state.refcount -= 1
+        if _state.refcount <= 0:
+            dispatch_mod._sanitizer_seal = None
+            component_mod._sanitizer_monitor = None
+            event_mod._remove_mutation_guard()
+            _state = None
+
+
+@contextmanager
+def sanitized() -> Iterator[None]:
+    """``with sanitized():`` — sanitizer active for the block."""
+    enable()
+    try:
+        yield
+    finally:
+        disable()
+
+
+def activate_from_env() -> bool:
+    """Enable the sanitizer when ``REPRO_SANITIZE`` is set truthy.
+
+    Called once at ``repro`` import; the returned flag says whether the
+    environment activated sanitize mode for the whole process.
+    """
+    if os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "on", "yes"):
+        enable()
+        return True
+    return False
+
+
+# ----------------------------------------------------------------- hooks
+
+
+def _seal(event: "Event") -> None:
+    """Mark ``event`` as shared (dispatch hook, called from trigger)."""
+    state = _state
+    if state is None:
+        return
+    key = id(event)
+    if key in state.sealed_ids:
+        return
+    state.sealed_ids.add(key)
+    try:
+        # Drop the id when the event dies so ids can be reused safely.
+        weakref.finalize(event, state.sealed_ids.discard, key)
+    except TypeError:  # pragma: no cover - all Events are weakref-able
+        pass
+
+
+def _check_mutation(event: "Event", name: str, op: str) -> None:
+    """Event guard hook: raise when a sealed event is mutated."""
+    state = _state
+    if state is None or id(event) not in state.sealed_ids:
+        return
+    where = state.monitor.current_component()
+    context = f" in a handler of {where}" if where else ""
+    raise EventMutationError(
+        f"[S001] attribute {name!r} of {event!r} {op} after the event was "
+        f"triggered{context}: delivered events are shared immutable values "
+        f"(copy-on-write instead)"
+    )

@@ -176,6 +176,7 @@ class CatsNode(ComponentDefinition):
         # ----------------------------------------------------- orchestration
         self.joined = False
         self._known_peers: tuple[Address, ...] = ()
+        self._ring_successors: tuple[Address, ...] = ()
         self._rejoin_pending = False
         self.subscribe(self.on_start, self.control)
         self.subscribe(self.on_ring_ready, self.ring.provided(Ring))
@@ -217,6 +218,7 @@ class CatsNode(ComponentDefinition):
     def on_ring_neighbors(self, event: RingNeighbors) -> None:
         """Feed ring neighbors into the overlay so routing tables converge;
         detect a ring collapse (no successors) and schedule a re-join."""
+        self._ring_successors = event.successors  # already excludes self
         peers = tuple(
             node
             for node in (event.predecessor, *event.successors)
@@ -232,7 +234,7 @@ class CatsNode(ComponentDefinition):
         if sample.nodes:
             self._known_peers = sample.nodes
         # A collapsed ring heals once gossip shows peers again.
-        if self.joined and not self.ring.definition.successors_exclude_self():
+        if self.joined and not self._ring_successors:
             self._schedule_rejoin()
 
     def _schedule_rejoin(self) -> None:
@@ -246,8 +248,7 @@ class CatsNode(ComponentDefinition):
     @handles(RejoinTick)
     def on_rejoin_tick(self, _tick: RejoinTick) -> None:
         self._rejoin_pending = False
-        ring = self.ring.definition
-        if ring.joined and not ring.successors_exclude_self() and self._known_peers:
+        if self.joined and not self._ring_successors and self._known_peers:
             self.trigger(RingJoin(self._known_peers), self.ring.provided(Ring))
             self._schedule_rejoin()  # keep trying until the ring heals
 

@@ -93,11 +93,18 @@ class Experiment(PortType):
 
 
 class SimulatedCatsHost(ComponentDefinition):
-    """One simulated machine: network + timer + a CatsNode."""
+    """One simulated machine: network + timer + a CatsNode.
+
+    The node's Ring and PutGet ports are delegated to the host's boundary so
+    the driver interacts with the host as a unit instead of reaching into
+    its internals.
+    """
 
     def __init__(self, address: Address, config: CatsConfig, mode: str) -> None:
         super().__init__()
         self.address = address
+        self.ring = self.provides(Ring)
+        self.putget = self.provides(PutGet)
         if mode == "simulation":
             net = self.create(EmulatedNetwork, address)
             timer = self.create(SimTimer)
@@ -107,6 +114,8 @@ class SimulatedCatsHost(ComponentDefinition):
         self.node = self.create(CatsNode, address, config)
         self.connect(net.provided(Network), self.node.required(Network))
         self.connect(timer.provided(Timer), self.node.required(Timer))
+        self.connect(self.node.provided(Ring), self.ring)
+        self.connect(self.node.provided(PutGet), self.putget)
 
 
 @dataclass
@@ -170,10 +179,9 @@ class CatsSimulator(ComponentDefinition):
         config = self._config_with_seeds(seeds)
         host = self.create(SimulatedCatsHost, address, config, self.mode)
         self.hosts[node_id] = host
-        node = host.definition.node
-        self.subscribe(self.on_lookup_response, node.provided(Ring))
-        self.subscribe(self.on_put_response, node.provided(PutGet))
-        self.subscribe(self.on_get_response, node.provided(PutGet))
+        self.subscribe(self.on_lookup_response, host.provided(Ring))
+        self.subscribe(self.on_put_response, host.provided(PutGet))
+        self.subscribe(self.on_get_response, host.provided(PutGet))
         self.start_child(host)
         self.stats.joins += 1
 
@@ -190,42 +198,44 @@ class CatsSimulator(ComponentDefinition):
 
     @handles(LookupCmd)
     def on_lookup(self, command: LookupCmd) -> None:
-        node = self._node_for(command.node_id)
-        if node is None:
+        owner = self._owner_of(command.node_id)
+        if owner is None:
             return
         op_id = new_op_id()
         self._lookup_times[op_id] = self.now()
         self.stats.lookups_issued += 1
-        self.trigger(RingLookup(command.key, op_id=op_id), node.provided(Ring))
+        self.trigger(
+            RingLookup(command.key, op_id=op_id), self.hosts[owner].provided(Ring)
+        )
 
     @handles(PutCmd)
     def on_put(self, command: PutCmd) -> None:
-        node = self._node_for(command.node_id)
-        if node is None:
+        owner = self._owner_of(command.node_id)
+        if owner is None:
             return
         op_id = new_op_id()
         self._op_times[op_id] = self.now()
         self.stats.puts_issued += 1
         self.history.invoke(
-            op_id, node.definition.address.node_id, "put", command.key,
-            value=command.value, time=self.now(),
+            op_id, owner, "put", command.key, value=command.value, time=self.now()
         )
         self.trigger(
-            PutRequest(command.key, command.value, op_id=op_id), node.provided(PutGet)
+            PutRequest(command.key, command.value, op_id=op_id),
+            self.hosts[owner].provided(PutGet),
         )
 
     @handles(GetCmd)
     def on_get(self, command: GetCmd) -> None:
-        node = self._node_for(command.node_id)
-        if node is None:
+        owner = self._owner_of(command.node_id)
+        if owner is None:
             return
         op_id = new_op_id()
         self._op_times[op_id] = self.now()
         self.stats.gets_issued += 1
-        self.history.invoke(
-            op_id, node.definition.address.node_id, "get", command.key, time=self.now()
+        self.history.invoke(op_id, owner, "get", command.key, time=self.now())
+        self.trigger(
+            GetRequest(command.key, op_id=op_id), self.hosts[owner].provided(PutGet)
         )
-        self.trigger(GetRequest(command.key, op_id=op_id), node.provided(PutGet))
 
     # ------------------------------------------------------------- responses
 
@@ -280,10 +290,10 @@ class CatsSimulator(ComponentDefinition):
     def _pick_seeds(self) -> tuple[Address, ...]:
         if not self.hosts:
             return ()
-        alive = list(self.hosts.values())
+        alive = list(self.hosts)
         self.system.random.shuffle(alive)
         return tuple(
-            host.definition.address for host in alive[: self.seeds_per_join]
+            local_address(nid, node_id=nid) for nid in alive[: self.seeds_per_join]
         )
 
     def _owner_of(self, node_id: int) -> Optional[int]:
@@ -298,6 +308,8 @@ class CatsSimulator(ComponentDefinition):
         return ids[0]
 
     def _node_for(self, node_id: int):
+        """The CatsNode component owning ``node_id`` (test/benchmark hook;
+        handler code goes through the host's delegated ports instead)."""
         owner = self._owner_of(node_id)
         if owner is None:
             return None

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Optional, TypeVar
 
 from . import channel as channel_mod
 from . import dispatch
-from .errors import ConfigurationError, LifecycleError
+from .errors import ConfigurationError, LifecycleError, SanitizerError
 from .event import Event
 from .fault import Fault, escalate
 from .handler import HandlerFn, Subscription, make_subscription
@@ -40,6 +40,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 # Stack of cores under construction; create() nests, so this is a stack.
 _construction = threading.local()
+
+#: Execution monitor, installed by :mod:`repro.analysis.sanitizer` while
+#: sanitize mode is active and None otherwise.  It tags handler execution
+#: with its worker thread and raises ReentrancyError when the handler
+#: mutual-exclusion guarantee is bypassed.
+_sanitizer_monitor = None
 
 
 def _construction_stack() -> list["ComponentCore"]:
@@ -444,12 +450,21 @@ class ComponentCore:
         )
 
     def _run_handlers(self, item: WorkItem) -> None:
-        for handler in self._match_handlers(item):
-            try:
-                handler(item.event)
-            except Exception as exc:  # noqa: BLE001 - fault isolation boundary
-                self._fault(exc, item.event)
-                return
+        monitor = _sanitizer_monitor
+        if monitor is not None:
+            monitor.enter(self)  # raises ReentrancyError on violation
+        try:
+            for handler in self._match_handlers(item):
+                try:
+                    handler(item.event)
+                except SanitizerError:
+                    raise  # sanitizer violations surface immediately, unwrapped
+                except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+                    self._fault(exc, item.event)
+                    return
+        finally:
+            if monitor is not None:
+                monitor.exit(self)
 
     def _fault(self, exc: BaseException, event: Event) -> None:
         """Wrap an uncaught handler exception per paper section 2.5."""

@@ -31,6 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from .component import ComponentCore
     from .port import PortFace
 
+#: Event-sealing hook, installed by :mod:`repro.analysis.sanitizer` while
+#: sanitize mode is active and None otherwise (the None check is the only
+#: cost on the default path).  Sealing marks an event as shared: any later
+#: mutation raises EventMutationError.
+_sanitizer_seal = None
+
 
 def trigger(event: Event, face: "PortFace") -> None:
     """Asynchronously send ``event`` through a port face (paper section 2.2).
@@ -40,6 +46,9 @@ def trigger(event: Event, face: "PortFace") -> None:
     *outside* face is the parent pushing an event into the child (e.g.
     ``trigger(Start(), child.control())``).
     """
+    seal = _sanitizer_seal
+    if seal is not None:
+        seal(event)
     port = face.port
     if face.is_inside:
         # The owner emits; events travel in the owner's outgoing direction.

@@ -33,3 +33,23 @@ class ConfigurationError(KompicsError):
 
 class SimulationError(KompicsError):
     """A deterministic-simulation invariant was violated."""
+
+
+class SanitizerError(KompicsError):
+    """A shared-state invariant was violated under the runtime sanitizer
+    (see :mod:`repro.analysis.sanitizer`)."""
+
+
+class EventMutationError(SanitizerError):
+    """An event object was mutated after being triggered (rule S001).
+
+    Events are fanned out by reference to every subscriber; mutating one
+    after delivery is a data race under the threaded scheduler.
+    """
+
+
+class ReentrancyError(SanitizerError):
+    """A component's handlers executed re-entrantly or concurrently
+    (rule S002) — the mutual-exclusion guarantee of the model was
+    bypassed, e.g. by invoking a handler directly outside the scheduler.
+    """

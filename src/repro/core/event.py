@@ -18,18 +18,59 @@ from __future__ import annotations
 
 import enum
 
+#: Mutation-check hook, installed by :mod:`repro.analysis.sanitizer` while
+#: sanitize mode is active (``REPRO_SANITIZE=1``) and None otherwise.  The
+#: guard methods below are only attached to :class:`Event` while a check is
+#: installed, so the default path carries zero overhead.
+_mutation_check = None
+
 
 class Event:
     """Root of the event-type hierarchy.
 
     Every object that traverses a port must be an :class:`Event`.  The class
-    carries no state of its own; attributes belong to subclasses.
+    carries no state of its own; attributes belong to subclasses.  (The
+    ``__weakref__`` slot lets the sanitizer track delivered events without
+    keeping them alive.)
     """
 
-    __slots__ = ()
+    __slots__ = ("__weakref__",)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
+
+
+def _debug_setattr(self: Event, name: str, value: object) -> None:
+    """Debug-mode ``__setattr__``: rejects mutation of sealed (delivered)
+    events.  Attached to :class:`Event` only while the sanitizer is on."""
+    check = _mutation_check
+    if check is not None:
+        check(self, name, "assigned")
+    object.__setattr__(self, name, value)
+
+
+def _debug_delattr(self: Event, name: str) -> None:
+    check = _mutation_check
+    if check is not None:
+        check(self, name, "deleted")
+    object.__delattr__(self, name)
+
+
+def _install_mutation_guard(check) -> None:
+    global _mutation_check
+    _mutation_check = check
+    Event.__setattr__ = _debug_setattr  # type: ignore[method-assign]
+    Event.__delattr__ = _debug_delattr  # type: ignore[method-assign]
+
+
+def _remove_mutation_guard() -> None:
+    global _mutation_check
+    _mutation_check = None
+    for name in ("__setattr__", "__delattr__"):
+        try:
+            delattr(Event, name)
+        except AttributeError:
+            pass
 
 
 class Direction(enum.Enum):

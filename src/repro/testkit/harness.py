@@ -107,10 +107,16 @@ class ComponentHarness:
         init: Optional[Init] = None,
         timer: str = "sim",
         seed: int = 0,
+        sanitize: bool = False,
         **kwargs: object,
     ) -> None:
         if timer not in ("sim", "probe"):
             raise ConfigurationError("timer must be 'sim' or 'probe'")
+        self._sanitize = sanitize
+        if sanitize:
+            from ..analysis import sanitizer
+
+            sanitizer.enable()
         self.simulation = Simulation(seed=seed, fault_policy="record")
         built: dict = {}
 
@@ -196,5 +202,21 @@ class ComponentHarness:
     def now(self) -> float:
         return self.simulation.now()
 
+    def verify_wiring(self, allow: tuple[str, ...] = ()) -> list:
+        """Run the wiring verifier (rules W*) over the harness's tree.
+
+        Probes satisfy every port of the component under test, so a clean
+        harness normally reports nothing; ``allow`` takes ``"RULE:glob"``
+        entries for intentional exceptions.
+        """
+        from ..analysis.wiring import verify_tree
+
+        return verify_tree(self.root, allow=allow)
+
     def shutdown(self) -> None:
         self.simulation.shutdown()
+        if self._sanitize:
+            from ..analysis import sanitizer
+
+            sanitizer.disable()
+            self._sanitize = False

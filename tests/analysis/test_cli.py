@@ -1,0 +1,152 @@
+"""The ``python -m repro.analysis`` command line front-end."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis.cli import main
+
+BAD_MODULE = textwrap.dedent(
+    """\
+    import time
+    from dataclasses import dataclass
+
+    from repro import ComponentDefinition, Event, PortType, handles
+
+
+    @dataclass(frozen=True)
+    class Tick(Event):
+        n: int = 0
+
+
+    class TickPort(PortType):
+        positive = (Tick,)
+        negative = ()
+
+
+    class Sleepy(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.requires(TickPort)
+            self.subscribe(self.on_tick, self.port)
+
+        @handles(Tick)
+        def on_tick(self, event):
+            time.sleep(1)
+            event.n = 7
+    """
+)
+
+CLEAN_MODULE = textwrap.dedent(
+    """\
+    from dataclasses import dataclass
+
+    from repro import ComponentDefinition, Event, PortType, handles
+
+
+    @dataclass(frozen=True)
+    class Tick(Event):
+        n: int = 0
+
+
+    class TickPort(PortType):
+        positive = (Tick,)
+        negative = ()
+
+
+    class Quiet(ComponentDefinition):
+        def __init__(self):
+            super().__init__()
+            self.port = self.requires(TickPort)
+            self.subscribe(self.on_tick, self.port)
+
+        @handles(Tick)
+        def on_tick(self, event):
+            self.last = event.n
+    """
+)
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text(CLEAN_MODULE)
+    assert main([str(tmp_path)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_one_with_text_report(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD_MODULE)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "A001" in out and "A002" in out
+    assert "bad.py" in out
+    assert "2 finding(s)" in out
+
+
+def test_json_report_shape(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD_MODULE)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["total"] == 2
+    assert report["counts"] == {"A001": 1, "A002": 1}
+    rules = {f["rule"] for f in report["findings"]}
+    assert rules == {"A001", "A002"}
+    assert all("file" in f and "line" in f for f in report["findings"])
+
+
+def test_select_and_ignore_flags(tmp_path):
+    (tmp_path / "bad.py").write_text(BAD_MODULE)
+    assert main([str(tmp_path), "--select", "A002"]) == 1
+    assert main([str(tmp_path), "--ignore", "A001,A002"]) == 0
+
+
+def test_config_file_is_honored(tmp_path, capsys):
+    project = tmp_path / "proj"
+    project.mkdir()
+    (project / "bad.py").write_text(BAD_MODULE)
+    (project / "pyproject.toml").write_text(
+        '[tool.repro.analysis]\nignore = ["A001", "A002"]\n'
+    )
+    assert main([str(project)]) == 0
+    capsys.readouterr()
+    # Bad config keys are a usage error, not a crash.
+    (project / "pyproject.toml").write_text(
+        '[tool.repro.analysis]\nbogus_key = true\n'
+    )
+    assert main([str(project)]) == 2
+    assert "bad config" in capsys.readouterr().err
+
+
+def test_usage_errors(tmp_path, capsys):
+    assert main([]) == 2
+    assert "no paths" in capsys.readouterr().err
+    assert main([str(tmp_path / "missing_dir")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("A001", "A005", "W001", "W004", "S001", "S002"):
+        assert rule_id in out
+
+
+def test_module_invocation_on_own_source_tree():
+    """The repository gates CI on this exact invocation staying clean."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro", "examples"],
+        cwd=repo,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

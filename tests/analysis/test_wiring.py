@@ -1,0 +1,237 @@
+"""Wiring verifier rules W001–W004: true positives and clean assemblies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, Event, PortType
+from repro.analysis import AnalysisConfig, verify_system, verify_tree
+
+from ..kit import Collector, EchoServer, Ping, PingPort, Scaffold, make_system
+
+
+def build(builder):
+    system = make_system()
+    root = system.bootstrap(Scaffold, builder)
+    return system, root
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------- W001
+
+
+def test_w001_unconnected_required_port():
+    def builder(root):
+        root.create(Collector)  # requires PingPort, never connected
+
+    system, _ = build(builder)
+    findings = verify_system(system)
+    assert "W001" in rules_of(findings)
+    (w001,) = [f for f in findings if f.rule == "W001"]
+    assert "PingPort" in w001.message
+    assert w001.obj and "Collector" in w001.obj
+
+
+def test_w001_clean_when_connected():
+    def builder(root):
+        server = root.create(EchoServer)
+        client = root.create(Collector)
+        root.connect(server.provided(PingPort), client.required(PingPort))
+
+    system, _ = build(builder)
+    assert verify_system(system) == []
+
+
+# ---------------------------------------------------------------------- W002
+
+
+@dataclass(frozen=True)
+class Gossip(Event):
+    payload: str = ""
+
+
+class GossipPort(PortType):
+    positive = (Gossip,)
+    negative = ()
+
+
+def test_w002_dead_subscription_after_unplug():
+    # Wire provider<->requirer, then unplug the channel from the requirer
+    # side: the provider's request subscription goes dead while its port
+    # still holds the channel stub (so W001 stays quiet for the provider).
+    built = {}
+
+    def builder(root):
+        built["server"] = root.create(EchoServer)
+        client = root.create(Collector)
+        root.connect(built["server"].provided(PingPort), client.required(PingPort))
+
+    system, root = build(builder)
+    assert verify_system(system) == []
+
+    channel = built["server"].provided(PingPort).channels[0]
+    channel.unplug(channel.negative_end)
+    findings = verify_system(system)
+    # The provider keeps its channel stub (W004 reports the unplugged end)
+    # and its on_ping subscription is now unreachable (W002).
+    assert "W002" in rules_of(findings)
+    assert "W004" in rules_of(findings)
+    dead = [f for f in findings if f.rule == "W002"]
+    assert any("on_ping" in f.message for f in dead)
+
+
+def test_w002_clean_driver_pushed_provided_port():
+    # A channel-free provided port (e.g. the CATS simulator's Experiment
+    # port) counts as a trigger site: an external driver may push requests
+    # into it, so its owner's subscriptions are NOT dead.
+    def builder(root):
+        root.create(EchoServer)  # provided PingPort, no channel
+
+    system, _ = build(builder)
+    assert verify_system(system) == []
+
+
+# ---------------------------------------------------------------------- W003
+
+
+def test_w003_duplicate_subscription():
+    class DoubleSub(ComponentDefinition):
+        def __init__(self) -> None:
+            super().__init__()
+            self.port = self.provides(PingPort)
+            self.subscribe(self.on_ping_twice, self.port, event_type=Ping)
+            self.subscribe(self.on_ping_twice, self.port, event_type=Ping)
+
+        def on_ping_twice(self, event: Ping) -> None:
+            pass
+
+    def builder(root):
+        root.create(DoubleSub)
+
+    system, _ = build(builder)
+    findings = [f for f in verify_system(system) if f.rule == "W003"]
+    assert len(findings) == 1
+    assert "2x" in findings[0].message
+
+
+def test_w003_clean_same_handler_different_event_types():
+    @dataclass(frozen=True)
+    class HotGossip(Gossip):
+        pass
+
+    class TwoTypes(ComponentDefinition):
+        def __init__(self) -> None:
+            super().__init__()
+            self.port = self.requires(GossipPort)
+            self.subscribe(self.on_any, self.port, event_type=Gossip)
+            self.subscribe(self.on_any, self.port, event_type=HotGossip)
+
+        def on_any(self, event: Event) -> None:
+            pass
+
+    def builder(root):
+        root.create(TwoTypes)
+
+    system, _ = build(builder)
+    assert [f for f in verify_system(system) if f.rule == "W003"] == []
+
+
+# ---------------------------------------------------------------------- W004
+
+
+def test_w004_held_channel_reported():
+    built = {}
+
+    def builder(root):
+        built["server"] = root.create(EchoServer)
+        client = root.create(Collector)
+        root.connect(built["server"].provided(PingPort), client.required(PingPort))
+
+    system, root = build(builder)
+    channel = built["server"].provided(PingPort).channels[0]
+    channel.hold()
+    findings = [f for f in verify_system(system) if f.rule == "W004"]
+    assert len(findings) == 1
+    assert "held" in findings[0].message
+    channel.resume()
+    assert verify_system(system) == []
+
+
+def test_w004_duplicate_parallel_channels():
+    def builder(root):
+        server = root.create(EchoServer)
+        client = root.create(Collector)
+        root.connect(server.provided(PingPort), client.required(PingPort))
+        root.connect(server.provided(PingPort), client.required(PingPort))
+
+    system, _ = build(builder)
+    findings = [f for f in verify_system(system) if f.rule == "W004"]
+    assert len(findings) == 1
+    assert "duplicate parallel" in findings[0].message
+
+
+def test_w004_clean_parallel_channels_with_selectors():
+    def builder(root):
+        server = root.create(EchoServer)
+        client = root.create(Collector)
+        root.connect(
+            server.provided(PingPort),
+            client.required(PingPort),
+            selector=lambda event: True,
+        )
+        root.connect(
+            server.provided(PingPort),
+            client.required(PingPort),
+            selector=lambda event: False,
+        )
+
+    system, _ = build(builder)
+    assert [f for f in verify_system(system) if f.rule == "W004"] == []
+
+
+# ----------------------------------------------------------- API conveniences
+
+
+def test_verify_tree_accepts_component_and_core():
+    def builder(root):
+        root.create(Collector)
+
+    system, root = build(builder)
+    by_component = verify_tree(root)
+    by_core = verify_tree(root.core)
+    assert rules_of(by_component) == rules_of(by_core)
+    assert "W001" in rules_of(by_component)
+
+
+def test_allowlist_filters_by_rule_and_glob():
+    def builder(root):
+        root.create(Collector)
+
+    system, root = build(builder)
+    assert verify_tree(root, allow=("W001:*Collector*",)) == []
+    # A non-matching glob keeps the finding.
+    assert rules_of(verify_tree(root, allow=("W001:*Nothing*",))) == ["W001"]
+    # Allowing a different rule does not hide W001.
+    assert rules_of(verify_tree(root, allow=("W004:*",))) == ["W001"]
+
+
+def test_config_disables_wiring_rules():
+    def builder(root):
+        root.create(Collector)
+
+    system, root = build(builder)
+    config = AnalysisConfig(ignore=("W001",))
+    assert [f for f in verify_tree(root, config=config) if f.rule == "W001"] == []
+
+
+def test_control_ports_are_exempt():
+    # Components subscribe to Start/Stop on control; none of that is dead
+    # or unconnected even with zero channels anywhere.
+    def builder(root):
+        root.create(EchoServer)
+
+    system, _ = build(builder)
+    assert verify_system(system) == []
