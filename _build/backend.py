@@ -1,0 +1,122 @@
+"""Minimal in-tree PEP 517 build backend, stdlib only.
+
+``pyproject.toml`` points here (``backend-path = ["_build"]``) so the
+project installs in fully offline environments where ``setuptools`` or
+``wheel`` may be unavailable.  Supports regular and editable wheels plus
+a plain sdist — nothing else.  Pure-Python, no compiled artifacts.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tarfile
+import tomllib
+import zipfile
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+
+
+def _project() -> dict:
+    with open(os.path.join(_ROOT, "pyproject.toml"), "rb") as handle:
+        return tomllib.load(handle)["project"]
+
+
+def _metadata(project: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if "description" in project:
+        lines.append(f"Summary: {project['description']}")
+    if "requires-python" in project:
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    for extra, deps in project.get("optional-dependencies", {}).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for dep in deps:
+            lines.append(f"Requires-Dist: {dep} ; extra == '{extra}'")
+    return "\n".join(lines) + "\n"
+
+
+def _record_entry(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+    return f"{name},sha256={digest.rstrip(b'=').decode()},{len(data)}"
+
+
+def _write_wheel(path: str, files: dict[str, bytes], dist_info: str) -> None:
+    wheel_meta = (
+        "Wheel-Version: 1.0\n"
+        "Generator: repro-intree-backend\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+    files = dict(files)
+    files[f"{dist_info}/WHEEL"] = wheel_meta.encode()
+    record_name = f"{dist_info}/RECORD"
+    record = [_record_entry(name, data) for name, data in files.items()]
+    record.append(f"{record_name},,")
+    files[record_name] = ("\n".join(record) + "\n").encode()
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in files.items():
+            archive.writestr(name, data)
+
+
+def _package_files() -> dict[str, bytes]:
+    files: dict[str, bytes] = {}
+    for directory, _, names in sorted(os.walk(os.path.join(_SRC, "repro"))):
+        if "__pycache__" in directory:
+            continue
+        for name in sorted(names):
+            full = os.path.join(directory, name)
+            arcname = os.path.relpath(full, _SRC).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                files[arcname] = handle.read()
+    return files
+
+
+def _build(wheel_directory: str, payload: dict[str, bytes]) -> str:
+    project = _project()
+    dist_info = f"{project['name']}-{project['version']}.dist-info"
+    payload = dict(payload)
+    payload[f"{dist_info}/METADATA"] = _metadata(project).encode()
+    wheel_name = f"{project['name']}-{project['version']}-py3-none-any.whl"
+    _write_wheel(os.path.join(wheel_directory, wheel_name), payload, dist_info)
+    return wheel_name
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _build(wheel_directory, _package_files())
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    pth = {"__editable__.repro.pth": (_SRC + "\n").encode()}
+    return _build(wheel_directory, pth)
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+get_requires_for_build_sdist = get_requires_for_build_wheel
+get_requires_for_build_editable = get_requires_for_build_wheel
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    project = _project()
+    base = f"{project['name']}-{project['version']}"
+    sdist_name = f"{base}.tar.gz"
+
+    def keep(info: tarfile.TarInfo):
+        parts = info.name.split("/")
+        skip = {".git", "__pycache__", ".pytest_cache", "build", "dist"}
+        return None if skip.intersection(parts) else info
+
+    with tarfile.open(os.path.join(sdist_directory, sdist_name), "w:gz") as archive:
+        for entry in ("pyproject.toml", "README.md", "src", "_build"):
+            full = os.path.join(_ROOT, entry)
+            if os.path.exists(full):
+                archive.add(full, arcname=f"{base}/{entry}", filter=keep)
+    return sdist_name

@@ -1,0 +1,79 @@
+"""Race-tracking overhead: the default-off path must cost nothing measurable.
+
+The happens-before tracker hooks six module-level seams (``dispatch``,
+``component``, ``channel``, ``reconfig``, ``event_queue`` and the
+simulation loop).  Each hook is a module global that stays ``None``
+until ``race_tracking()`` installs a runtime — the default path pays one
+load+is-None test per trigger/execution, exactly like the sanitizer.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_race_overhead.py -q
+
+Compare the ``off`` and ``on`` round-trip rates; ``off`` must match
+``bench_core_ops.py::test_event_round_trip_rate`` (same workload).  The
+``on`` rate quantifies the full vector-clock + payload-probe cost and is
+expected to be substantially slower — that mode is opt-in for debugging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.race import hooks as race_hooks
+
+from tests.kit import Collector, EchoServer, Ping, PingPort, Scaffold, make_system
+
+
+def build_world():
+    system = make_system()
+    built = {}
+
+    def build(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        built["client"] = scaffold.create(Collector, count=0)
+        scaffold.connect(
+            built["server"].provided(PingPort), built["client"].required(PingPort)
+        )
+
+    system.bootstrap(Scaffold, build)
+    system.await_quiescence()
+    return system, built
+
+
+def test_default_path_has_no_hooks_installed():
+    """The zero-overhead claim, verified structurally: with tracking off
+    every race seam is ``None`` — nothing is stamped, probed, or locked."""
+    from repro.core import channel as channel_mod
+    from repro.core import component as component_mod
+    from repro.core import dispatch as dispatch_mod
+    from repro.core import reconfig as reconfig_mod
+    from repro.simulation import core as sim_core_mod
+    from repro.simulation import event_queue as event_queue_mod
+
+    assert race_hooks.active_runtime() is None
+    assert dispatch_mod._race_stamp is None
+    assert component_mod._race_observer is None
+    assert channel_mod._race_channel is None
+    assert reconfig_mod._race_transfer is None
+    assert event_queue_mod._race_stamp_entry is None
+    assert sim_core_mod._race_dispatch_entry is None
+
+
+@pytest.mark.parametrize("track", [False, True], ids=["off", "on"])
+def test_round_trip_rate(benchmark, track):
+    """trigger -> channel -> handler -> reply -> handler, tracking off/on."""
+    runtime = race_hooks.RaceRuntime() if track else None
+    if runtime is not None:
+        runtime.install()
+    try:
+        system, built = build_world()
+        client = built["client"].definition
+
+        def round_trip():
+            client.trigger(Ping(1), client.port)
+            system.await_quiescence()
+
+        benchmark(round_trip)
+        system.shutdown()
+    finally:
+        if runtime is not None:
+            runtime.uninstall()

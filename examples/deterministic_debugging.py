@@ -66,11 +66,11 @@ def main() -> None:
     fp3, count3, _ = run_workload(seed=9999)
 
     print(f"  run A (seed 1234): {count1} handler executions, "
-          f"fingerprint {fp1 & 0xFFFFFFFF:08x}")
+          f"fingerprint {fp1[:12]}")
     print(f"  run B (seed 1234): {count2} handler executions, "
-          f"fingerprint {fp2 & 0xFFFFFFFF:08x}")
+          f"fingerprint {fp2[:12]}")
     print(f"  run C (seed 9999): {count3} handler executions, "
-          f"fingerprint {fp3 & 0xFFFFFFFF:08x}")
+          f"fingerprint {fp3[:12]}")
     print(f"\nA == B (bit-identical executions): {fp1 == fp2 and count1 == count2}")
     print(f"A == C (different seed):            {fp1 == fp3}")
 

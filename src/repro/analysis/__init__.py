@@ -12,10 +12,15 @@
 3. **Runtime sanitizer** (:mod:`.sanitizer`, rules ``S001``–``S002``) —
    opt-in dynamic checks that raise at the exact moment a delivered event
    is mutated or a component's handlers run re-entrantly.
+4. **Concurrency analysis** (:mod:`.race`, rules ``R001``–``R003``) —
+   happens-before race detection, determinism checking, and schedule
+   exploration over the simulation runtime (loaded lazily: it pulls in
+   the simulation stack).
 
-Command line: ``python -m repro.analysis src/repro examples``.
-See ``docs/analysis.md`` for the full rule catalogue and suppression
-syntax (``# repro: noqa[A001]``, ``[tool.repro.analysis]``).
+Command line: ``python -m repro.analysis src/repro examples`` for the
+lint, ``python -m repro.analysis race <scenario>`` for concurrency
+analysis.  See ``docs/analysis.md`` for the full rule catalogue and
+suppression syntax (``# repro: noqa[A001]``, ``[tool.repro.analysis]``).
 """
 
 from .ast_lint import lint_paths
@@ -35,8 +40,19 @@ __all__ = [
     "is_enabled",
     "lint_paths",
     "load_config",
+    "race",
     "sanitized",
     "to_json",
     "verify_system",
     "verify_tree",
 ]
+
+
+def __getattr__(name: str):
+    # PEP 562: the race subpackage imports the simulation runtime, which
+    # plain lint/sanitizer users should not pay for.
+    if name == "race":
+        import importlib
+
+        return importlib.import_module(".race", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

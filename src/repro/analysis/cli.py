@@ -86,6 +86,14 @@ def _list_rules() -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "race":
+        # Concurrency analysis lives in its own subcommand so the lint CLI
+        # (and its importers) never pay for the simulation stack.
+        from .race.cli import main as race_main
+
+        return race_main(argv[1:])
+
     parser = _build_parser()
     args = parser.parse_args(argv)
 

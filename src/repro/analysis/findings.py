@@ -8,6 +8,8 @@ grouped by pass:
 - ``W0xx`` — wiring verifier rules (structural, per component/port)
 - ``S0xx`` — runtime sanitizer violations (raised as exceptions, but
   catalogued here so docs and suppression share one namespace)
+- ``R0xx`` — concurrency analysis: happens-before races, determinism
+  violations, schedule-dependent failures (:mod:`repro.analysis.race`)
 
 A finding is suppressed at the source line with a trailing
 ``# repro: noqa[A001]`` comment (see :mod:`repro.analysis.config` for
@@ -109,6 +111,27 @@ register_rule(
     "a component's handlers ran re-entrantly or on two threads at once "
     "(sanitizer mode; raises ReentrancyError)",
     "sanitizer",
+)
+register_rule(
+    "R001", "unordered-conflicting-access",
+    "two handler executions access the same non-event object, at least one "
+    "writes, and no happens-before edge (trigger/channel/lifecycle/state "
+    "transfer) orders them — a data race on the multi-core runtime",
+    "race",
+)
+register_rule(
+    "R002", "nondeterministic-execution",
+    "two same-seed simulation runs diverge beyond happens-before "
+    "commutativity (unseeded randomness, iteration order, or a wall-clock "
+    "read leaking into virtual time)",
+    "race",
+)
+register_rule(
+    "R003", "schedule-dependent-failure",
+    "a legal reordering of same-timestamp events or ready components makes "
+    "the scenario fail while the FIFO baseline passes (found by the "
+    "schedule explorer; shrunk and replayable)",
+    "race",
 )
 
 

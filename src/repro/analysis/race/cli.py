@@ -1,0 +1,216 @@
+"""``python -m repro.analysis race`` — the concurrency-analysis front-end.
+
+Modes (mutually exclusive):
+
+- *default*: run the scenario once under happens-before tracking and
+  report unordered conflicting object accesses (R001);
+- ``--determinism``: run it twice (``--runs N``) with one seed and diff
+  the stable trace fingerprints (R002);
+- ``--explore N``: search N permuted schedules for a failing
+  interleaving, shrink it, and (with ``--output``) write a replay file
+  (R003);
+- ``--replay FILE``: re-execute the exact interleaving recorded in a
+  replay file.
+
+``SCENARIO`` is a built-in fixture alias (``--list-fixtures``) or a
+``module:function`` spec resolving to ``scenario(sim) -> check | None``.
+Exit status mirrors the linter: 0 clean, 1 findings, 2 usage errors —
+inverted by ``--expect-failure`` for CI jobs that assert a known bug
+stays discoverable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ...simulation.core import Simulation
+from ..findings import Finding, to_json
+from . import fixtures as _fixtures
+from .determinism import check_determinism
+from .explorer import explore, load_replay, replay, save_replay
+from .hooks import race_tracking
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis race",
+        description="happens-before race detection, determinism checking, "
+        "and schedule exploration for the component runtime",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help="fixture alias or module:function spec (optional with --replay)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed (default 0)")
+    parser.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        help="virtual-time horizon (default: the fixture's own, else quiescence)",
+    )
+    parser.add_argument(
+        "--max-dispatches",
+        type=int,
+        default=None,
+        help="stop after this many timed dispatches",
+    )
+    parser.add_argument(
+        "--determinism", action="store_true", help="run twice and diff traces (R002)"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=2, help="runs for --determinism (default 2)"
+    )
+    parser.add_argument(
+        "--explore",
+        type=int,
+        default=None,
+        metavar="N",
+        help="search N permuted schedules for a failure (R003)",
+    )
+    parser.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=0,
+        help="seed for the schedule search (default 0)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the shrunk failing schedule as a replay file",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-execute the interleaving recorded in a replay file",
+    )
+    parser.add_argument(
+        "--expect-failure",
+        action="store_true",
+        help="invert the exit status: succeed only if the bug was found "
+        "(--explore) or reproduced (--replay)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--list-fixtures", action="store_true", help="print built-in scenarios and exit"
+    )
+    return parser
+
+
+def _emit(findings: list[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(to_json(findings))
+        return
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"\n{len(findings)} finding(s)")
+
+
+def _race_once(scenario, seed, until, max_dispatches) -> tuple[list[Finding], Optional[str]]:
+    failure = None
+    with race_tracking() as runtime:
+        sim = Simulation(seed=seed)
+        try:
+            check = scenario(sim)
+            sim.run(until=until, max_dispatches=max_dispatches)
+            if check is not None:
+                check()
+        except Exception as exc:  # noqa: BLE001 - report, keep the findings
+            failure = f"{type(exc).__name__}: {exc}"
+    return runtime.findings(), failure
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_fixtures:
+        for name in sorted(_fixtures.FIXTURES):
+            fn = _fixtures.FIXTURES[name]
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<14} {doc}")
+        return 0
+
+    if args.replay is not None:
+        try:
+            data = load_replay(args.replay)
+            scenario = (
+                _fixtures.resolve_scenario(args.scenario) if args.scenario else None
+            )
+            result = replay(data, scenario=scenario)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.format())
+        if args.expect_failure:
+            return 0 if result.reproduced else 1
+        return 1 if result.failure is not None else 0
+
+    if not args.scenario:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: scenario required (or --replay FILE / --list-fixtures)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        scenario = _fixtures.resolve_scenario(args.scenario)
+    except (ValueError, ImportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    until = args.until if args.until is not None else _fixtures.default_until(scenario)
+    spec = _fixtures.SPECS.get(args.scenario, args.scenario)
+
+    if args.determinism:
+        report = check_determinism(
+            scenario,
+            runs=args.runs,
+            seed=args.seed,
+            until=until,
+            max_dispatches=args.max_dispatches,
+        )
+        if args.format == "json":
+            print(to_json(report.findings))
+        else:
+            print(report.format())
+        if args.expect_failure:
+            return 0 if report.findings else 1
+        return 1 if report.findings else 0
+
+    if args.explore is not None:
+        result = explore(
+            scenario,
+            budget=args.explore,
+            seed=args.schedule_seed,
+            until=until,
+            scenario_seed=args.seed,
+            max_dispatches=args.max_dispatches,
+            scenario_spec=spec,
+        )
+        if args.format == "json":
+            print(to_json(result.findings))
+        else:
+            print(result.format())
+        if result.found and args.output:
+            path = save_replay(args.output, result)
+            print(f"replay file written: {path}")
+        if args.expect_failure:
+            return 0 if result.found else 1
+        return 1 if (result.found or result.baseline_failed) else 0
+
+    findings, failure = _race_once(scenario, args.seed, until, args.max_dispatches)
+    _emit(findings, args.format)
+    if failure is not None:
+        print(f"note: scenario failed during the run: {failure}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,349 @@
+"""Schedule exploration: permute legal interleavings, shrink, replay (R003).
+
+The simulation runtime normally resolves scheduling ties FIFO: queue
+entries at one virtual timestamp dispatch in insertion order and ready
+components execute in arrival order.  Those ties are exactly the points
+where the multi-core runtime is *allowed* to differ — so the explorer
+drives them through a :class:`ScheduleController` plugged into the
+``picker`` hooks of :class:`~repro.simulation.event_queue.EventQueue` and
+:class:`~repro.runtime.scheduler.ManualScheduler`, searching for an
+interleaving that breaks the scenario.
+
+Every controller decision is an index into the tied candidates, recorded
+in order.  A failing run is therefore *a list of small integers*, which
+
+- **shrinks**: first the shortest failing prefix (everything after it
+  falls back to FIFO), then each remaining non-zero decision is forced
+  back to 0 where the failure survives — the minimal schedule is usually
+  one or two decisive swaps;
+- **replays**: the decision list plus scenario/seed round-trips through a
+  JSON replay file, and ``python -m repro.analysis race --replay FILE``
+  re-executes the exact interleaving.
+
+A baseline FIFO failure means the bug is not schedule-dependent (fix the
+scenario, not the schedule); it is reported separately.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from ...simulation.core import Simulation
+from ..findings import Finding
+from .determinism import Scenario
+
+
+class ScheduleController:
+    """Resolves scheduling ties: randomly (search) or by script (replay).
+
+    With neither ``rng`` nor ``script`` the controller picks index 0
+    everywhere, which is exactly the FIFO baseline.  Decisions are only
+    consulted — and recorded — when more than one candidate is tied.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        script: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.rng = rng
+        self.script: Optional[deque[int]] = (
+            deque(int(d) for d in script) if script is not None else None
+        )
+        self.decisions: list[int] = []
+        self.sites: list[str] = []
+
+    def _choose(self, count: int, site: str) -> int:
+        if count <= 1:
+            return 0
+        if self.script is not None:
+            choice = self.script.popleft() if self.script else 0
+            choice = max(0, min(choice, count - 1))
+        elif self.rng is not None:
+            choice = self.rng.randrange(count)
+        else:
+            choice = 0
+        self.decisions.append(choice)
+        self.sites.append(f"{site} [{count} tied]")
+        return choice
+
+    def queue_picker(self, entries) -> int:
+        names = ", ".join(
+            getattr(e.action, "__qualname__", None) or repr(e.action) for e in entries
+        )
+        return self._choose(len(entries), f"t={entries[0].time:.6f} queue({names})")
+
+    def ready_picker(self, ready) -> int:
+        names = ", ".join(core.name for core in ready)
+        return self._choose(len(ready), f"ready({names})")
+
+    def install(self, sim: Simulation) -> None:
+        sim.queue.picker = self.queue_picker
+        sim.scheduler.picker = self.ready_picker
+
+
+def _attempt(
+    scenario: Scenario,
+    scenario_seed: int,
+    until: Optional[float],
+    max_dispatches: Optional[int],
+    controller: Optional[ScheduleController],
+) -> Optional[str]:
+    """One run under ``controller``; returns a failure string or None."""
+    sim = Simulation(seed=scenario_seed)
+    if controller is not None:
+        controller.install(sim)
+    try:
+        check = scenario(sim)
+        sim.run(until=until, max_dispatches=max_dispatches)
+        if check is not None:
+            check()
+    except Exception as exc:  # noqa: BLE001 - any failure is the signal
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of :func:`explore`."""
+
+    found: bool
+    baseline_failed: bool
+    attempts: int
+    runs: int
+    failure: Optional[str]
+    decisions: list[int] = field(default_factory=list)
+    sites: list[str] = field(default_factory=list)
+    replay: Optional[dict] = None
+    findings: list[Finding] = field(default_factory=list)
+
+    def format(self) -> str:
+        if self.baseline_failed:
+            return (
+                f"baseline FIFO schedule already fails ({self.failure}); the bug "
+                f"is not schedule-dependent — fix the scenario first"
+            )
+        if not self.found:
+            return (
+                f"no schedule-dependent failure in {self.attempts} explored "
+                f"schedules ({self.runs} runs total)"
+            )
+        lines = [
+            f"schedule-dependent failure after {self.attempts} attempts "
+            f"({self.runs} runs incl. shrinking): {self.failure}",
+            f"minimal schedule: {len(self.decisions)} decision(s)",
+        ]
+        for decision, site in zip(self.decisions, self.sites):
+            lines.append(f"  pick #{decision} at {site}")
+        return "\n".join(lines)
+
+
+def _shrink(
+    scenario: Scenario,
+    decisions: list[int],
+    scenario_seed: int,
+    until: Optional[float],
+    max_dispatches: Optional[int],
+    budget: int,
+) -> tuple[list[int], list[str], Optional[str], int]:
+    """Minimize a failing decision list; returns (decisions, sites, failure, runs)."""
+    runs = 0
+
+    def run_script(script: list[int]) -> tuple[Optional[str], ScheduleController]:
+        nonlocal runs
+        runs += 1
+        controller = ScheduleController(script=script)
+        return (
+            _attempt(scenario, scenario_seed, until, max_dispatches, controller),
+            controller,
+        )
+
+    best = list(decisions)
+    while best and best[-1] == 0:  # trailing zeros are the FIFO default
+        best.pop()
+
+    # Shortest failing prefix (binary search; verified afterwards because
+    # failure need not be monotone in prefix length).
+    low, high = 0, len(best)
+    while low < high and runs < budget:
+        mid = (low + high) // 2
+        if run_script(best[:mid])[0] is not None:
+            high = mid
+        else:
+            low = mid + 1
+    candidate = best[:high]
+    if candidate != best and run_script(candidate)[0] is not None:
+        best = candidate
+
+    # Force surviving decisions back to the FIFO choice where possible.
+    changed = True
+    while changed and runs < budget:
+        changed = False
+        for position in range(len(best)):
+            if best[position] == 0 or runs >= budget:
+                continue
+            trial = list(best)
+            trial[position] = 0
+            if run_script(trial)[0] is not None:
+                best = trial
+                changed = True
+        while best and best[-1] == 0:
+            best.pop()
+
+    failure, controller = run_script(list(best))
+    if failure is None:  # shrinking lost the bug — keep the original schedule
+        best = list(decisions)
+        failure, controller = run_script(best)
+    return best, controller.sites, failure, runs
+
+
+def explore(
+    scenario: Scenario,
+    budget: int,
+    seed: int = 0,
+    until: Optional[float] = None,
+    scenario_seed: int = 0,
+    max_dispatches: Optional[int] = None,
+    scenario_spec: Optional[str] = None,
+    shrink_budget: int = 200,
+) -> ExplorationResult:
+    """Search up to ``budget`` random schedules for a failing interleaving."""
+    runs = 1
+    baseline = _attempt(scenario, scenario_seed, until, max_dispatches, None)
+    if baseline is not None:
+        return ExplorationResult(
+            found=False,
+            baseline_failed=True,
+            attempts=0,
+            runs=runs,
+            failure=baseline,
+        )
+    for attempt in range(budget):
+        controller = ScheduleController(rng=random.Random(seed * 1_000_003 + attempt))
+        failure = _attempt(scenario, scenario_seed, until, max_dispatches, controller)
+        runs += 1
+        if failure is None:
+            continue
+        decisions, sites, failure, shrink_runs = _shrink(
+            scenario,
+            controller.decisions,
+            scenario_seed,
+            until,
+            max_dispatches,
+            shrink_budget,
+        )
+        runs += shrink_runs
+        replay_data = {
+            "version": 1,
+            "kind": "repro.analysis.race replay",
+            "scenario": scenario_spec,
+            "scenario_seed": scenario_seed,
+            "until": until,
+            "max_dispatches": max_dispatches,
+            "decisions": decisions,
+            "sites": sites,
+            "failure": failure,
+        }
+        finding = Finding(
+            rule="R003",
+            message=(
+                f"schedule-dependent failure: {failure} — reproduced by "
+                f"{len(decisions)} scheduling decision(s) "
+                f"({'; '.join(sites) or 'FIFO'}); the FIFO baseline passes"
+            ),
+            obj=scenario_spec or "scenario",
+            extra={"decisions": decisions, "sites": sites, "failure": failure},
+        )
+        return ExplorationResult(
+            found=True,
+            baseline_failed=False,
+            attempts=attempt + 1,
+            runs=runs,
+            failure=failure,
+            decisions=decisions,
+            sites=sites,
+            replay=replay_data,
+            findings=[finding],
+        )
+    return ExplorationResult(
+        found=False, baseline_failed=False, attempts=budget, runs=runs, failure=None
+    )
+
+
+# ------------------------------------------------------------------ replay io
+
+
+def save_replay(path: Union[str, Path], result: Union[ExplorationResult, dict]) -> Path:
+    """Write a replay file for a failing exploration result."""
+    data = result.replay if isinstance(result, ExplorationResult) else result
+    if not data:
+        raise ValueError("nothing to save: the exploration found no failure")
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_replay(path: Union[str, Path]) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != "repro.analysis.race replay":
+        raise ValueError(f"{path} is not a race replay file")
+    return data
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of :func:`replay`."""
+
+    reproduced: bool
+    failure: Optional[str]
+    expected_failure: Optional[str]
+    decisions: list[int] = field(default_factory=list)
+    sites: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        if self.reproduced:
+            return f"replay reproduced the failure: {self.failure}"
+        if self.failure is not None:
+            return (
+                f"replay failed differently: got {self.failure!r}, "
+                f"recorded {self.expected_failure!r}"
+            )
+        return f"replay did NOT reproduce the recorded failure ({self.expected_failure})"
+
+
+def replay(
+    source: Union[str, Path, dict],
+    scenario: Optional[Scenario] = None,
+) -> ReplayResult:
+    """Re-execute the exact interleaving recorded in a replay file."""
+    data = source if isinstance(source, dict) else load_replay(source)
+    if scenario is None:
+        spec = data.get("scenario")
+        if not spec:
+            raise ValueError(
+                "replay file does not name its scenario; pass one explicitly"
+            )
+        from .fixtures import resolve_scenario
+
+        scenario = resolve_scenario(spec)
+    controller = ScheduleController(script=data.get("decisions", []))
+    failure = _attempt(
+        scenario,
+        int(data.get("scenario_seed", 0)),
+        data.get("until"),
+        data.get("max_dispatches"),
+        controller,
+    )
+    expected = data.get("failure")
+    return ReplayResult(
+        reproduced=failure is not None and (expected is None or failure == expected),
+        failure=failure,
+        expected_failure=expected,
+        decisions=controller.decisions,
+        sites=controller.sites,
+    )

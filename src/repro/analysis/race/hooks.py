@@ -1,0 +1,155 @@
+"""RaceRuntime: installs HB tracking into the runtime's hook points.
+
+Mirrors the sanitizer's activation contract exactly: every hook site in
+the core runtime is a module-level name that is ``None`` by default and
+checked before use, so production dispatch pays one pointer test per
+site and nothing else (``benchmarks/bench_race_overhead.py`` keeps this
+honest).  Only one runtime can be installed at a time.
+
+Typical use::
+
+    from repro.analysis.race import race_tracking
+
+    with race_tracking() as rt:
+        sim = Simulation(seed=7)
+        ... build and run ...
+    for finding in rt.findings():
+        print(finding.format())
+
+Instrumented application code may add explicit accesses::
+
+    from repro.analysis.race import note_read, note_write, track_object
+
+    track_object(self.cache, "Server.cache")   # no-op when tracking is off
+    note_write(self.cache)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ...core import channel as _channel_mod
+from ...core import component as _component_mod
+from ...core import dispatch as _dispatch_mod
+from ...core import reconfig as _reconfig_mod
+from ...simulation import core as _sim_core_mod
+from ...simulation import event_queue as _event_queue_mod
+from ..findings import Finding
+from .hb import HBTracker
+from .recorder import AccessRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...core.component import ComponentCore, WorkItem
+
+_install_lock = threading.Lock()
+_active: Optional["RaceRuntime"] = None
+
+
+class RaceRuntime:
+    """One race-analysis session: tracker + recorder + hook plumbing."""
+
+    def __init__(self, keep_epochs: bool = False, capture_stacks: bool = True) -> None:
+        self.tracker = HBTracker(keep_epochs=keep_epochs)
+        self.recorder = AccessRecorder(self.tracker, capture_stacks=capture_stacks)
+        self._tls = threading.local()
+        self.installed = False
+
+    # ------------------------------------------------------- hook callbacks
+
+    def on_trigger(self, event: object) -> None:
+        self.tracker.stamp_event(event)
+        self.recorder.register_event(event)
+
+    def begin(self, core: "ComponentCore", item: "WorkItem") -> None:
+        epoch = self.tracker.begin_execution(core, item)
+        snapshot = self.recorder.begin(core, item)
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append((epoch, snapshot))
+
+    def end(self, core: "ComponentCore", item: "WorkItem") -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack:
+            epoch, snapshot = stack.pop()
+            self.recorder.end(core, item, epoch, snapshot)
+        self.tracker.end_execution(core, item)
+
+    # --------------------------------------------------------- installation
+
+    def install(self) -> None:
+        global _active
+        with _install_lock:
+            if self.installed:
+                return
+            if _active is not None:
+                raise RuntimeError("another RaceRuntime is already installed")
+            _active = self
+            self.installed = True
+            _dispatch_mod._race_stamp = self.on_trigger
+            _component_mod._race_observer = self
+            _channel_mod._race_channel = self.tracker.channel_op
+            _reconfig_mod._race_transfer = self.tracker.state_transfer
+            _event_queue_mod._race_stamp_entry = self.tracker.stamp_entry
+            _sim_core_mod._race_dispatch_entry = self.tracker.run_entry
+
+    def uninstall(self) -> None:
+        global _active
+        with _install_lock:
+            if not self.installed:
+                return
+            self.installed = False
+            if _active is self:
+                _active = None
+            _dispatch_mod._race_stamp = None
+            _component_mod._race_observer = None
+            _channel_mod._race_channel = None
+            _reconfig_mod._race_transfer = None
+            _event_queue_mod._race_stamp_entry = None
+            _sim_core_mod._race_dispatch_entry = None
+
+    # -------------------------------------------------------------- results
+
+    def findings(self) -> list[Finding]:
+        return list(self.recorder.findings)
+
+
+def active_runtime() -> Optional[RaceRuntime]:
+    """The currently installed runtime, or None when tracking is off."""
+    return _active
+
+
+@contextlib.contextmanager
+def race_tracking(
+    keep_epochs: bool = False, capture_stacks: bool = True
+) -> Iterator[RaceRuntime]:
+    """Enable race tracking for a ``with`` block; always uninstalls."""
+    runtime = RaceRuntime(keep_epochs=keep_epochs, capture_stacks=capture_stacks)
+    runtime.install()
+    try:
+        yield runtime
+    finally:
+        runtime.uninstall()
+
+
+def track_object(obj: object, name: Optional[str] = None) -> None:
+    """Watch ``obj`` for unordered conflicting accesses (no-op when off)."""
+    runtime = _active
+    if runtime is not None:
+        runtime.recorder.track_object(obj, name)
+
+
+def note_read(obj: object, name: Optional[str] = None) -> None:
+    """Record a read of ``obj`` by the current execution (no-op when off)."""
+    runtime = _active
+    if runtime is not None:
+        runtime.recorder.explicit_access(obj, "read", name)
+
+
+def note_write(obj: object, name: Optional[str] = None) -> None:
+    """Record a write of ``obj`` by the current execution (no-op when off)."""
+    runtime = _active
+    if runtime is not None:
+        runtime.recorder.explicit_access(obj, "write", name)

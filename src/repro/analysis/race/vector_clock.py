@@ -1,0 +1,67 @@
+"""Vector clocks: the partial order underlying happens-before tracking.
+
+A clock maps context indices (components, external threads, timed
+dispatches) to event counts.  ``a.leq(b)`` means every execution counted
+in ``a`` is also counted in ``b`` — i.e. ``a`` happened before (or is)
+``b``; two clocks with neither ≤ the other are *concurrent*, and that is
+exactly where races live.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+
+class VectorClock:
+    """A sparse vector clock over integer context indices."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, entries: Optional[Mapping[int, int]] = None) -> None:
+        self._c: dict[int, int] = dict(entries) if entries else {}
+
+    def copy(self) -> "VectorClock":
+        clock = VectorClock()
+        clock._c = dict(self._c)
+        return clock
+
+    def tick(self, index: int) -> None:
+        """Count one more event in context ``index``."""
+        self._c[index] = self._c.get(index, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place component-wise maximum (inherit ``other``'s history)."""
+        mine = self._c
+        for index, count in other._c.items():
+            if count > mine.get(index, 0):
+                mine[index] = count
+
+    def get(self, index: int) -> int:
+        return self._c.get(index, 0)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True when this clock's history is contained in ``other``'s."""
+        theirs = other._c
+        return all(count <= theirs.get(index, 0) for index, count in self._c.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock precedes the other: the epochs are unordered."""
+        return not self.leq(other) and not other.leq(self)
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._c)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._c.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._c == other._c
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._c.items()))
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{i}:{n}" for i, n in sorted(self._c.items()))
+        return f"<VC {{{inside}}}>"

@@ -484,9 +484,12 @@ class CatsRing(ComponentDefinition):
         wanted = {s for s in self.successors if s != self.address}
         if self.predecessor is not None and self.predecessor != self.address:
             wanted.add(self.predecessor)
-        for node in wanted - self._monitored:
+        # Sorted, not set order: Address hashes are salted per process, so
+        # iterating the differences directly would start/stop monitoring in
+        # a process-dependent order and break cross-process determinism.
+        for node in sorted(wanted - self._monitored):
             self.trigger(MonitorNode(node), self.fd)
-        for node in self._monitored - wanted:
+        for node in sorted(self._monitored - wanted):
             self.trigger(StopMonitoringNode(node), self.fd)
         self._monitored = wanted
 

@@ -31,6 +31,14 @@ from .port import PortFace, check_faces_connectable
 
 Selector = Callable[[Event], bool]
 
+#: Reconfiguration-command hook, installed by :mod:`repro.analysis.race`
+#: while race tracking is active and None otherwise.  Called as
+#: ``hook(op, channel, events)`` where ``op`` is one of ``"hold"``,
+#: ``"resume"``, ``"release"``, ``"unplug"``, ``"plug"`` and ``events`` is
+#: the tuple of queued events affected by the command — the tracker turns
+#: these into happens-before edges (e.g. resume-caller → flushed delivery).
+_race_channel = None
+
 
 class Channel:
     """A FIFO, bidirectional, reconfigurable link between two port faces."""
@@ -107,9 +115,15 @@ class Channel:
         """Stop forwarding and start queueing events in both directions."""
         with self._lock:
             self.held = True
+            hook = _race_channel
+            if hook is not None:
+                hook("hold", self, ())
 
     def resume(self) -> None:
         """Flush queued events in order, then resume normal forwarding."""
+        hook = _race_channel
+        if hook is not None:
+            hook("resume", self, ())
         while True:
             with self._lock:
                 if not self._queue:
@@ -128,6 +142,8 @@ class Channel:
                 with self._lock:
                     self._queue.appendleft((event, direction))
                     return
+            if hook is not None:
+                hook("release", self, (event,))
             dispatch.arrive(destination, event, direction)
 
     def unplug(self, face: PortFace) -> None:
@@ -141,6 +157,9 @@ class Channel:
                 raise KConnectionError(f"{face!r} is not an end of this channel")
             if self in face.channels:
                 face.channels.remove(self)
+            hook = _race_channel
+            if hook is not None:
+                hook("unplug", self, ())
         _bump_generation(face)
 
     def plug(self, face: PortFace) -> None:
@@ -160,6 +179,9 @@ class Channel:
                     raise KConnectionError("negative end of channel is already plugged")
                 self.negative_end = face
             face.channels.append(self)
+            hook = _race_channel
+            if hook is not None:
+                hook("plug", self, tuple(event for event, _ in self._queue))
         _bump_generation(face)
 
     def destroy(self) -> None:

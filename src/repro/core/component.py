@@ -47,6 +47,12 @@ _construction = threading.local()
 #: mutual-exclusion guarantee is bypassed.
 _sanitizer_monitor = None
 
+#: Execution observer, installed by :mod:`repro.analysis.race` while race
+#: tracking is active and None otherwise.  ``begin``/``end`` bracket every
+#: executed work item so the tracker can maintain per-component vector
+#: clocks and the access recorder can attribute object accesses to epochs.
+_race_observer = None
+
 
 def _construction_stack() -> list["ComponentCore"]:
     stack = getattr(_construction, "stack", None)
@@ -430,6 +436,18 @@ class ComponentCore:
             tracer.record(
                 self.system.clock.now(), self.name, type(event).__name__
             )
+        observer = _race_observer
+        if observer is not None:
+            observer.begin(self, item)
+            try:
+                self._dispatch_item(item)
+            finally:
+                observer.end(self, item)
+            return
+        self._dispatch_item(item)
+
+    def _dispatch_item(self, item: WorkItem) -> None:
+        event = item.event
         if isinstance(event, Init):
             self._handle_init(item)
         elif isinstance(event, Start):

@@ -37,6 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: mutation raises EventMutationError.
 _sanitizer_seal = None
 
+#: Happens-before stamping hook, installed by :mod:`repro.analysis.race`
+#: while race tracking is active and None otherwise.  Stamping attaches the
+#: triggering execution's vector clock to the event (the trigger→delivery
+#: edge of the happens-before model).
+_race_stamp = None
+
 
 def trigger(event: Event, face: "PortFace") -> None:
     """Asynchronously send ``event`` through a port face (paper section 2.2).
@@ -49,6 +55,9 @@ def trigger(event: Event, face: "PortFace") -> None:
     seal = _sanitizer_seal
     if seal is not None:
         seal(event)
+    stamp = _race_stamp
+    if stamp is not None:
+        stamp(event)
     port = face.port
     if face.is_inside:
         # The owner emits; events travel in the owner's outgoing direction.

@@ -26,6 +26,13 @@ from .component import Component, ComponentDefinition
 from .errors import ConfigurationError
 from .lifecycle import Init, Start, Stop
 
+#: Reconfiguration state-transfer hook, installed by
+#: :mod:`repro.analysis.race` while race tracking is active and None
+#: otherwise.  Called as ``hook(old_core, new_core)`` once the replacement
+#: component exists: everything the old component did happens-before
+#: everything the new one will do.
+_race_transfer = None
+
 
 @runtime_checkable
 class StatefulDefinition(Protocol):
@@ -93,6 +100,9 @@ def replace_component(
         new.core.receive_event(item.event, port.inside if face.is_inside else port.outside)
 
     # 4. Transfer state, activate, resume traffic, destroy the old instance.
+    hook = _race_transfer
+    if hook is not None:
+        hook(old_core, new.core)
     if state is not None:
         if state_transfer is not None:
             state_transfer(state, new.definition)

@@ -89,7 +89,11 @@ class PingFailureDetector(ComponentDefinition):
     @handles(FdCheck)
     def on_check(self, _timeout: FdCheck) -> None:
         self._round_pending = False
-        for node in tuple(self._monitored):
+        # Sorted, not set order: Address hashes are salted per process
+        # (PYTHONHASHSEED), so iterating the set directly makes the ping
+        # order — and every simulation downstream of it — differ between
+        # otherwise identical runs.
+        for node in sorted(self._monitored):
             if node not in self._alive:
                 self._misses[node] = self._misses.get(node, 0) + 1
                 if (

@@ -56,6 +56,10 @@ class ManualScheduler(Scheduler):
         from collections import deque
 
         self._ready = deque()
+        #: Optional ready-component chooser (schedule exploration): called
+        #: with the sequence of ready components, returns the index of the
+        #: one to execute next.  None (the default) keeps FIFO order.
+        self.picker = None
 
     def schedule(self, component: "ComponentCore") -> None:
         self._ready.append(component)
@@ -68,7 +72,13 @@ class ManualScheduler(Scheduler):
         """Execute one scheduling slot; returns False when nothing is ready."""
         if not self._ready:
             return False
-        component = self._ready.popleft()
+        picker = self.picker
+        if picker is None or len(self._ready) == 1:
+            component = self._ready.popleft()
+        else:
+            index = picker(self._ready)
+            component = self._ready[index]
+            del self._ready[index]
         if component.execute(self.throughput):
             self._ready.append(component)
         return True

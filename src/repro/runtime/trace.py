@@ -7,6 +7,10 @@ records ``(time, component, event type)`` for every executed work item,
 giving deterministic, diffable execution traces in simulation and
 best-effort traces in production.
 
+``record`` is safe under concurrent work-stealing workers: appends and the
+``recorded``/``dropped`` counters are serialized by a lock, so counts are
+exact and no entry is lost to a torn read-modify-write.
+
 Usage::
 
     tracer = Tracer(capacity=10_000)
@@ -19,6 +23,8 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -48,15 +54,18 @@ class Tracer:
         self.event_filter = event_filter
         self.recorded = 0
         self.dropped = 0
+        self._lock = threading.Lock()
 
     def record(self, time: float, component: str, event_type: str) -> None:
         if self.event_filter is not None and not self.event_filter(
             component, event_type
         ):
-            self.dropped += 1
+            with self._lock:
+                self.dropped += 1
             return
-        self.recorded += 1
-        self.entries.append(TraceEntry(time, component, event_type))
+        with self._lock:
+            self.recorded += 1
+            self.entries.append(TraceEntry(time, component, event_type))
 
     def summary(self) -> dict[str, int]:
         """Event-type histogram of the retained trace."""
@@ -65,11 +74,33 @@ class Tracer:
     def by_component(self) -> dict[str, int]:
         return dict(Counter(entry.component for entry in self.entries))
 
-    def fingerprint(self) -> int:
-        """Order-sensitive hash of the retained trace (determinism checks)."""
+    def fingerprint(self) -> str:
+        """Stable, order-sensitive digest of the retained trace.
+
+        A blake2b hex digest over a canonical encoding of every entry:
+        independent of ``PYTHONHASHSEED`` and of the process, so two runs —
+        or two *machines* — can compare determinism-check fingerprints
+        byte-for-byte.  ``repr`` of a float is exact, so virtual-time
+        differences down to the last ulp change the digest.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for entry in self.entries:
+            digest.update(
+                f"{entry.time!r}|{entry.component}|{entry.event_type}\n".encode()
+            )
+        return digest.hexdigest()
+
+    def fingerprint_fast(self) -> int:
+        """Order-sensitive ``hash()`` of the retained trace.
+
+        Cheaper than :meth:`fingerprint` but salted by ``PYTHONHASHSEED``:
+        only comparable within one process.  Prefer :meth:`fingerprint`
+        for determinism checks.
+        """
         return hash(tuple((e.time, e.component, e.event_type) for e in self.entries))
 
     def clear(self) -> None:
-        self.entries.clear()
-        self.recorded = 0
-        self.dropped = 0
+        with self._lock:
+            self.entries.clear()
+            self.recorded = 0
+            self.dropped = 0

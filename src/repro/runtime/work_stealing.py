@@ -15,6 +15,7 @@ parallel CPU speedup; see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import deque
 from typing import TYPE_CHECKING, Optional
@@ -121,7 +122,10 @@ class WorkStealingScheduler(Scheduler):
         self.workers: list[_Worker] = []
         self.condition = threading.Condition()
         self.running = False
-        self._round_robin = 0
+        # itertools.count: atomic under the GIL, unlike a read-modify-write
+        # on an int — several external threads (network, timers) may place
+        # components concurrently.
+        self._placement = itertools.count()
         self._pre_start: deque["ComponentCore"] = deque()
 
     def batch_size(self, available: int) -> int:
@@ -130,27 +134,36 @@ class WorkStealingScheduler(Scheduler):
         return int(self.steal_batch)
 
     def start(self) -> None:
-        if self.running:
-            return
-        self.running = True
-        self.workers = [_Worker(self, i) for i in range(self.worker_count)]
+        with self.condition:
+            if self.running:
+                return
+            self.running = True
+            self.workers = [_Worker(self, i) for i in range(self.worker_count)]
         for worker in self.workers:
             worker.start()
-        while self._pre_start:
-            self.schedule(self._pre_start.popleft())
+        while True:
+            with self.condition:
+                if not self._pre_start:
+                    break
+                component = self._pre_start.popleft()
+            self.schedule(component)
 
     def schedule(self, component: "ComponentCore") -> None:
         if not self.running:
             # Components scheduled before start() (e.g. Init during
-            # bootstrap construction) are held and flushed on start.
-            self._pre_start.append(component)
-            return
+            # bootstrap construction) are held and flushed on start.  The
+            # running flag is re-checked under the lock so a component
+            # can't slip into _pre_start after start() drained it.
+            with self.condition:
+                if not self.running:
+                    self._pre_start.append(component)
+                    return
         current = threading.current_thread()
         if isinstance(current, _Worker) and current.scheduler is self:
             current.push(component)
         else:
             # External thread (network/timer/main): round-robin placement.
-            index = self._round_robin = (self._round_robin + 1) % len(self.workers)
+            index = next(self._placement) % len(self.workers)
             self.workers[index].push(component)
         with self.condition:
             self.condition.notify()

@@ -24,6 +24,14 @@ from .event_queue import EventQueue
 
 QUEUE_SERVICE = "simulation_event_queue"
 
+#: Timed-dispatch hook, installed by :mod:`repro.analysis.race` while race
+#: tracking is active and None otherwise.  When set, each popped queue
+#: entry is executed through ``hook(entry)`` so its action runs in a fresh
+#: logical context seeded from the entry's schedule-time vector clock —
+#: consecutive timed dispatches are *not* ordered with each other (the
+#: loop's serialization is an artifact), only with their schedulers.
+_race_dispatch_entry = None
+
 
 class Simulation:
     """A deterministic, virtual-time component system."""
@@ -96,7 +104,11 @@ class Simulation:
             assert entry is not None
             self.clock.advance_to(entry.time)
             self.events_dispatched += 1
-            entry.action()
+            hook = _race_dispatch_entry
+            if hook is None:
+                entry.action()
+            else:
+                hook(entry)
 
     # ------------------------------------------------------------ convenience
 

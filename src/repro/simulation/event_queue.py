@@ -5,25 +5,45 @@ deliveries, scenario operations — is an entry in this queue.  Entries at
 equal timestamps fire in insertion order, which (together with the FIFO
 component scheduler and the seeded RNG) makes whole-system simulation fully
 deterministic and reproducible.
+
+Two opt-in hooks support the concurrency analysis in
+:mod:`repro.analysis.race` (both None/unset by default, costing one
+is-None test):
+
+- the module-level ``_race_stamp_entry`` hook attaches the scheduling
+  execution's vector clock to each new entry (the schedule→fire
+  happens-before edge);
+- the per-queue ``picker`` attribute lets a schedule explorer choose
+  *which* of several same-timestamp entries fires next — insertion order
+  among equal timestamps is an artifact of the implementation, and
+  permuting it is exactly how order-dependent bugs are surfaced.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
+
+#: Entry-stamping hook, installed by :mod:`repro.analysis.race` while race
+#: tracking is active and None otherwise.  Called as ``hook(entry)`` right
+#: after an entry is scheduled.
+_race_stamp_entry = None
 
 
 class ScheduledEntry:
     """One future action in virtual time."""
 
-    __slots__ = ("time", "sequence", "action", "cancelled")
+    __slots__ = ("time", "sequence", "action", "cancelled", "stamp")
 
     def __init__(self, time: float, sequence: int, action: Callable[[], None]) -> None:
         self.time = time
         self.sequence = sequence
         self.action = action
         self.cancelled = False
+        #: vector-clock stamp of the scheduling execution (race analysis
+        #: only; None on the default path).
+        self.stamp = None
 
     def __lt__(self, other: "ScheduledEntry") -> bool:
         return (self.time, self.sequence) < (other.time, other.sequence)
@@ -40,21 +60,50 @@ class EventQueue:
         self._sequence = itertools.count()
         self.scheduled_total = 0
         self.fired_total = 0
+        #: Optional same-timestamp chooser (schedule exploration): called
+        #: with the list of non-cancelled entries sharing the earliest
+        #: timestamp, returns the index of the entry to fire.  None (the
+        #: default) keeps strict insertion order.
+        self.picker: Optional[Callable[[Sequence[ScheduledEntry]], int]] = None
 
     def schedule(self, at: float, action: Callable[[], None]) -> ScheduledEntry:
         """Schedule ``action`` at absolute virtual time ``at``."""
         entry = ScheduledEntry(at, next(self._sequence), action)
+        stamp = _race_stamp_entry
+        if stamp is not None:
+            stamp(entry)
         heapq.heappush(self._heap, entry)
         self.scheduled_total += 1
         return entry
 
     def pop_due(self) -> Optional[ScheduledEntry]:
-        """Pop the earliest non-cancelled entry, or None if empty."""
+        """Pop the earliest non-cancelled entry, or None if empty.
+
+        With a ``picker`` installed, all non-cancelled entries at the
+        earliest timestamp are candidates and the picker selects which one
+        fires; the rest are pushed back unchanged.
+        """
+        if self.picker is None:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                if not entry.cancelled:
+                    self.fired_total += 1
+                    return entry
+            return None
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            if not entry.cancelled:
-                self.fired_total += 1
-                return entry
+            earliest = self._heap[0].time
+            due: list[ScheduledEntry] = []
+            while self._heap and self._heap[0].time == earliest:
+                entry = heapq.heappop(self._heap)
+                if not entry.cancelled:
+                    due.append(entry)
+            if not due:
+                continue  # every entry at this timestamp was cancelled
+            chosen = due.pop(self.picker(due) if len(due) > 1 else 0)
+            for entry in due:
+                heapq.heappush(self._heap, entry)
+            self.fired_total += 1
+            return chosen
         return None
 
     def peek_time(self) -> Optional[float]:

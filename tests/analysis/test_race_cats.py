@@ -1,0 +1,93 @@
+"""Concurrency analysis over the CATS store (issue satellite: explore the
+churn simulation and the ABD read/write path with a small budget).
+
+Result of the sweep: neither path has a schedule-dependent failure within
+these budgets — same-timestamp reordering of churn, quorum messages, and
+client operations preserves linearizability — and both runs are
+fingerprint-deterministic.  These tests pin that down as a regression
+gate: if a future change makes CATS order-dependent, the explorer finds
+it here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.race import check_determinism, explore, race_tracking
+from repro.analysis.race.fixtures import abd_read_write, cats_churn, default_until
+from repro.simulation import Simulation
+
+
+def test_abd_read_write_survives_schedule_exploration():
+    result = explore(abd_read_write, budget=8, until=default_until(abd_read_write))
+    assert not result.baseline_failed, result.failure
+    assert not result.found, result.format()
+
+
+@pytest.mark.slow
+def test_cats_churn_survives_schedule_exploration():
+    result = explore(cats_churn, budget=8, until=default_until(cats_churn))
+    assert not result.baseline_failed, result.failure
+    assert not result.found, result.format()
+
+
+def test_abd_is_fingerprint_deterministic():
+    report = check_determinism(abd_read_write, until=default_until(abd_read_write))
+    assert report.deterministic, report.format()
+
+
+@pytest.mark.slow
+def test_cats_churn_is_fingerprint_deterministic():
+    report = check_determinism(cats_churn, until=default_until(cats_churn))
+    assert report.deterministic, report.format()
+
+
+_CROSS_PROCESS_SCRIPT = """
+from repro.analysis.race.fixtures import cats_churn, default_until
+from repro.runtime.trace import Tracer
+from repro.simulation import Simulation
+
+sim = Simulation(seed=11)
+tracer = Tracer(capacity=1_000_000)
+sim.system.tracer = tracer
+check = cats_churn(sim)
+sim.run(until=default_until(cats_churn))
+check()
+print(tracer.fingerprint())
+"""
+
+
+@pytest.mark.slow
+def test_cats_churn_is_deterministic_across_processes():
+    """Regression for the iteration-order bug this subsystem caught: the
+    failure detector and the ring's monitoring reconciliation iterated
+    ``set[Address]`` collections, whose order is salted per process, so
+    identical seeds produced different executions in different processes.
+    Both sites now iterate sorted; the fingerprint must not depend on
+    ``PYTHONHASHSEED``."""
+    import os
+    import subprocess
+    import sys
+
+    def fingerprint(hash_seed):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", _CROSS_PROCESS_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return out.stdout.strip()
+
+    assert fingerprint("0") == fingerprint("4242")
+
+
+def test_abd_has_no_hb_races():
+    """The quorum protocol shares nothing mutable across components."""
+    with race_tracking() as rt:
+        sim = Simulation(seed=7)
+        check = abd_read_write(sim)
+        sim.run(until=default_until(abd_read_write))
+        check()
+    assert [f for f in rt.findings() if f.rule == "R001"] == []

@@ -1,0 +1,79 @@
+"""The ``python -m repro.analysis race`` front-end."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+
+
+def test_race_subcommand_dispatches_from_analysis_cli(capsys):
+    assert main(["race", "--list-fixtures"]) == 0
+    out = capsys.readouterr().out
+    assert "order-bug" in out and "racy" in out
+
+
+def test_race_requires_a_scenario(capsys):
+    assert main(["race"]) == 2
+    assert "scenario required" in capsys.readouterr().err
+
+
+def test_unknown_scenario_is_a_usage_error(capsys):
+    assert main(["race", "no-such-fixture"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_clean_fixture_exits_zero(capsys):
+    assert main(["race", "clean"]) == 0
+    assert capsys.readouterr().out.strip() == ""
+
+
+def test_racy_fixture_reports_r001(capsys):
+    assert main(["race", "racy"]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out and "worker-a" in out and "worker-b" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    assert main(["race", "racy", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 1
+    assert payload["counts"] == {"R001": 1}
+
+
+def test_determinism_mode(capsys):
+    assert main(["race", "clean", "--determinism"]) == 0
+    assert "byte-identical" in capsys.readouterr().out
+    assert main(["race", "nondet", "--determinism"]) == 1
+    assert "NOT deterministic" in capsys.readouterr().out
+
+
+def test_explore_and_replay_round_trip(tmp_path, capsys):
+    replay_file = tmp_path / "bug.json"
+    code = main(
+        ["race", "order-bug", "--explore", "25", "--output", str(replay_file),
+         "--expect-failure"]
+    )
+    assert code == 0  # --expect-failure: finding the bug is success
+    out = capsys.readouterr().out
+    assert "schedule-dependent failure" in out
+    assert replay_file.exists()
+
+    assert main(["race", "--replay", str(replay_file), "--expect-failure"]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_explore_without_expect_failure_exits_one_on_findings(tmp_path):
+    assert main(["race", "order-bug", "--explore", "25"]) == 1
+    assert main(["race", "clean", "--explore", "3"]) == 0
+
+
+def test_replay_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["race", "--replay", str(tmp_path / "nope.json")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_plain_lint_path_still_works(tmp_path, capsys):
+    source = tmp_path / "ok.py"
+    source.write_text("x = 1\n")
+    assert main([str(source)]) == 0

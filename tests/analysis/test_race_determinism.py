@@ -1,0 +1,91 @@
+"""R002: determinism checking and trace diffing."""
+
+from __future__ import annotations
+
+from repro.analysis.race import check_determinism, compare_traces
+from repro.analysis.race.fixtures import (
+    clean_pipeline,
+    nondet_clock,
+    nondet_rng,
+    order_dependent_transfer,
+)
+from repro.runtime.trace import TraceEntry
+
+
+def _entries(rows):
+    return [TraceEntry(t, c, e) for t, c, e in rows]
+
+
+def test_clean_scenario_is_deterministic_with_identical_fingerprints():
+    report = check_determinism(clean_pipeline, runs=3, seed=11)
+    assert report.deterministic
+    assert len(set(report.fingerprints)) == 1
+    assert report.findings == []
+    # Stable digests: hex strings, not process-salted ints.
+    assert all(isinstance(fp, str) and len(fp) == 32 for fp in report.fingerprints)
+
+
+def test_order_bug_fixture_is_deterministic_under_fifo():
+    report = check_determinism(order_dependent_transfer, seed=3)
+    assert report.deterministic  # the *schedule* explorer finds its bug, not R002
+
+
+def test_unseeded_rng_flagged_with_rng_cause():
+    report = check_determinism(nondet_rng, seed=5)
+    assert not report.deterministic
+    assert not report.hb_equivalent
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.rule == "R002"
+    assert "divergence" in finding.extra
+    assert "randomness" in report.cause or "branching" in report.cause
+
+
+def test_wall_clock_read_classified_as_time_drift():
+    report = check_determinism(nondet_clock, seed=5)
+    assert not report.deterministic
+    assert report.findings[0].rule == "R002"
+    assert "wall-clock" in report.cause
+    assert report.divergence["index"] is not None
+
+
+def test_compare_traces_identical():
+    a = _entries([(0.0, "x", "Start"), (1.0, "y", "Ping")])
+    diff = compare_traces(a, list(a))
+    assert diff["identical"] and diff["hb_equivalent"]
+
+
+def test_compare_traces_hb_equivalent_interleaving():
+    # Same per-component (time, event) sequences, different interleaving.
+    a = _entries([(0.0, "x", "Ping"), (0.0, "y", "Ping"), (1.0, "x", "Pong")])
+    b = _entries([(0.0, "y", "Ping"), (0.0, "x", "Ping"), (1.0, "x", "Pong")])
+    diff = compare_traces(a, b)
+    assert not diff["identical"]
+    assert diff["hb_equivalent"]
+    assert diff["index"] == 0
+
+
+def test_compare_traces_time_drift_is_wall_clock():
+    a = _entries([(0.0, "x", "Start"), (1.0, "x", "Tick")])
+    b = _entries([(0.0, "x", "Start"), (1.5, "x", "Tick")])
+    diff = compare_traces(a, b)
+    assert not diff["hb_equivalent"]
+    assert "wall-clock" in diff["cause"]
+
+
+def test_compare_traces_reorder_within_component_is_iteration_order():
+    a = _entries([(0.0, "x", "A"), (0.0, "x", "B")])
+    b = _entries([(0.0, "x", "B"), (0.0, "x", "A")])
+    diff = compare_traces(a, b)
+    assert not diff["hb_equivalent"]
+    assert "iteration-order" in diff["cause"]
+
+
+def test_compare_traces_different_event_sets_is_rng():
+    a = _entries([(0.0, "x", "A")])
+    b = _entries([(0.0, "x", "A"), (0.0, "x", "A")])
+    diff = compare_traces(a, b)
+    assert not diff["hb_equivalent"]
+    assert "randomness" in diff["cause"]
+    assert diff["index"] == 1
+    assert diff["left"] is None and diff["right"] is not None

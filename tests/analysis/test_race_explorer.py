@@ -1,0 +1,110 @@
+"""R003: schedule exploration, shrinking, and exact replay."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.race.explorer import (
+    ScheduleController,
+    explore,
+    load_replay,
+    replay,
+    save_replay,
+)
+from repro.analysis.race.fixtures import (
+    SPECS,
+    clean_pipeline,
+    order_dependent_transfer,
+)
+
+
+class _Entry:
+    def __init__(self, time, name):
+        self.time = time
+        self.action = lambda: None
+        self.action.__qualname__ = name
+
+
+class _Core:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_controller_records_only_real_choices():
+    controller = ScheduleController(rng=random.Random(1))
+    assert controller.queue_picker([_Entry(1.0, "only")]) == 0
+    assert controller.decisions == []  # singleton: no decision point
+    index = controller.queue_picker([_Entry(1.0, "a"), _Entry(1.0, "b")])
+    assert 0 <= index <= 1
+    assert len(controller.decisions) == 1
+    assert "2 tied" in controller.sites[0]
+
+
+def test_controller_script_mode_clamps_and_defaults_to_fifo():
+    controller = ScheduleController(script=[7])
+    entries = [_Entry(1.0, "a"), _Entry(1.0, "b")]
+    assert controller.queue_picker(entries) == 1  # 7 clamped to len-1
+    assert controller.queue_picker(entries) == 0  # script exhausted -> FIFO
+    assert controller.ready_picker([_Core("x"), _Core("y"), _Core("z")]) == 0
+
+
+def test_explore_finds_shrinks_and_replays_the_order_bug(tmp_path):
+    result = explore(
+        order_dependent_transfer,
+        budget=25,
+        seed=0,
+        scenario_spec=SPECS["order-bug"],
+    )
+    assert result.found and not result.baseline_failed
+    assert "overdraft" in result.failure
+    # Shrunk to the single decisive swap at the tied timestamp.
+    assert result.decisions == [1]
+    assert len(result.sites) == 1 and "queue" in result.sites[0]
+    assert result.findings and result.findings[0].rule == "R003"
+
+    # Replay file round-trip: save -> load -> re-execute exactly.
+    path = save_replay(tmp_path / "replay.json", result)
+    data = load_replay(path)
+    assert data["decisions"] == [1]
+    assert data["scenario"] == SPECS["order-bug"]
+    outcome = replay(path)
+    assert outcome.reproduced
+    assert outcome.failure == result.failure
+
+
+def test_replay_accepts_explicit_scenario_callable(tmp_path):
+    result = explore(order_dependent_transfer, budget=25)
+    assert result.found
+    result.replay["scenario"] = None
+    path = save_replay(tmp_path / "anon.json", result.replay)
+    outcome = replay(path, scenario=order_dependent_transfer)
+    assert outcome.reproduced
+
+
+def test_explore_clean_scenario_finds_nothing():
+    result = explore(clean_pipeline, budget=10)
+    assert not result.found and not result.baseline_failed
+    assert result.attempts == 10
+    assert result.findings == []
+
+
+def test_baseline_failure_is_not_schedule_dependent():
+    def broken(sim):
+        def check():
+            raise AssertionError("always broken")
+
+        clean_pipeline(sim)
+        return check
+
+    result = explore(broken, budget=5)
+    assert result.baseline_failed and not result.found
+    assert "always broken" in result.failure
+    assert "not schedule-dependent" in result.format()
+
+
+def test_exploration_is_reproducible_for_one_seed():
+    first = explore(order_dependent_transfer, budget=25, seed=4)
+    second = explore(order_dependent_transfer, budget=25, seed=4)
+    assert first.found == second.found
+    assert first.decisions == second.decisions
+    assert first.attempts == second.attempts

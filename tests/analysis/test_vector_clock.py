@@ -1,0 +1,58 @@
+"""Vector clocks: the partial order under happens-before tracking."""
+
+from __future__ import annotations
+
+from repro.analysis.race import VectorClock
+
+
+def test_fresh_clocks_are_equal_and_ordered_both_ways():
+    a, b = VectorClock(), VectorClock()
+    assert a == b
+    assert a.leq(b) and b.leq(a)
+    assert not a.concurrent_with(b)
+
+
+def test_tick_advances_one_index():
+    clock = VectorClock()
+    clock.tick(3)
+    clock.tick(3)
+    clock.tick(7)
+    assert clock.get(3) == 2
+    assert clock.get(7) == 1
+    assert clock.get(99) == 0
+
+
+def test_leq_is_containment():
+    early = VectorClock({1: 1})
+    late = VectorClock({1: 2, 2: 5})
+    assert early.leq(late)
+    assert not late.leq(early)
+
+
+def test_concurrent_when_neither_contains_the_other():
+    a = VectorClock({1: 2})
+    b = VectorClock({2: 2})
+    assert a.concurrent_with(b)
+    assert b.concurrent_with(a)
+
+
+def test_join_takes_componentwise_max():
+    a = VectorClock({1: 2, 2: 1})
+    b = VectorClock({2: 4, 3: 1})
+    a.join(b)
+    assert a.as_dict() == {1: 2, 2: 4, 3: 1}
+    assert b.leq(a)
+
+
+def test_copy_is_independent():
+    a = VectorClock({1: 1})
+    b = a.copy()
+    b.tick(1)
+    assert a.get(1) == 1
+    assert b.get(1) == 2
+
+
+def test_equality_and_hash_ignore_zero_entries_only_when_absent():
+    assert VectorClock({1: 1}) == VectorClock({1: 1})
+    assert hash(VectorClock({1: 1})) == hash(VectorClock({1: 1}))
+    assert VectorClock({1: 1}) != VectorClock({1: 2})

@@ -100,3 +100,77 @@ def test_entry_formatting():
     tracer.record(1.5, "node-1", "Ping")
     text = str(tracer.entries[0])
     assert "node-1" in text and "Ping" in text
+
+
+_FINGERPRINT_SCRIPT = """
+from repro.runtime.trace import Tracer
+tracer = Tracer()
+for i in range(100):
+    tracer.record(float(i), f"node-{i % 7}", "Ping" if i % 3 else "Pong")
+print(tracer.fingerprint())
+print(tracer.fingerprint_fast())
+"""
+
+
+def test_fingerprint_is_stable_across_processes():
+    """blake2b digests must agree between interpreters with different hash
+    seeds — ``hash()``-based fingerprints would diverge and make the
+    determinism checker useless across process boundaries."""
+    import os
+    import subprocess
+    import sys
+
+    def run(hash_seed):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return out.stdout.split()
+
+    first, second = run("0"), run("12345")
+    # blake2b digest: identical regardless of the interpreter's hash seed.
+    assert first[0] == second[0]
+    assert len(first[0]) == 32
+    # fingerprint_fast is hash()-based and documented as process-local:
+    # the differing seeds are exactly what makes it unusable across runs.
+    assert first[1] != second[1]
+
+
+def test_fingerprint_fast_tracks_full_fingerprint_identity():
+    a, b = Tracer(), Tracer()
+    for tracer in (a, b):
+        for i in range(50):
+            tracer.record(float(i), "n", "E")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint_fast() == b.fingerprint_fast()
+    b.record(50.0, "n", "E")
+    assert a.fingerprint() != b.fingerprint()
+    assert a.fingerprint_fast() != b.fingerprint_fast()
+
+
+def test_concurrent_record_loses_nothing():
+    import threading
+
+    tracer = Tracer(capacity=100_000)
+    threads = [
+        threading.Thread(
+            target=lambda tag: [
+                tracer.record(float(i), f"t{tag}", "Ping") for i in range(1_000)
+            ],
+            args=(tag,),
+        )
+        for tag in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert tracer.recorded == 8_000
+    assert len(tracer.entries) == 8_000
+    per_thread = tracer.by_component()
+    assert all(per_thread[f"t{tag}"] == 1_000 for tag in range(8))
