@@ -1,0 +1,176 @@
+"""Compiled dispatch plans vs the recursive reference walker.
+
+Two topologies stress the two axes the plan compiler flattens:
+
+- **wide fan-out**: one provider connected over ``FANOUT`` channels to
+  subscribers — the walker pays a per-channel forward (lock, reachability
+  cache, two face recursions, subscription scan) per event; the plan is a
+  flat run of ``receive_event`` calls.
+- **deep hierarchy**: a request delegated down ``DEPTH`` nested components
+  — the walker recurses across two faces plus a channel per level; the
+  plan is a single delivery to the leaf.
+
+Only the dissemination phase is timed (events are drained through the
+scheduler untimed between batches), so the numbers compare the two routing
+engines rather than shared handler-execution cost.  Results go to
+``BENCH_dispatch.json`` and a table on stdout.  Smoke mode (default) keeps
+CI fast; ``REPRO_BENCH_FULL=1`` scales the event counts up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import ComponentDefinition, ComponentSystem, ManualScheduler
+from repro.core import dispatch
+
+from benchmarks.support import FULL, print_table
+from tests.kit import Collector, EchoServer, Ping, PingPort, Pong, Scaffold
+
+FANOUT = 64
+DEPTH = 32
+TRIGGERS = 20_000 if FULL else 2_000
+BATCH = 500
+MIN_FANOUT_SPEEDUP = 2.0
+
+_results: dict[str, dict[str, float]] = {}
+
+
+class Wrapper(ComponentDefinition):
+    """Provides PingPort through ``depth`` levels of delegation."""
+
+    def __init__(self, depth: int = 0) -> None:
+        super().__init__()
+        self.port = self.provides(PingPort)
+        if depth > 0:
+            self.inner = self.create(Wrapper, depth - 1)
+        else:
+            self.inner = self.create(EchoServer)
+        self.connect(self.port, self.inner.provided(PingPort))
+
+
+def _system(compiled: bool) -> tuple[ComponentSystem, dict]:
+    system = ComponentSystem(
+        scheduler=ManualScheduler(),
+        fault_policy="raise",
+        compiled_dispatch=compiled,
+    )
+    built: dict = {}
+    return system, built
+
+
+def _timed_storm(system: ComponentSystem, fire) -> float:
+    """Per-event dissemination time; queues drain untimed between batches."""
+    # Warm-up batch: compiles plans / fills pruning caches for both engines.
+    for n in range(BATCH):
+        fire(n)
+    system.await_quiescence()
+    elapsed = 0.0
+    fired = 0
+    while fired < TRIGGERS:
+        batch = min(BATCH, TRIGGERS - fired)
+        start = time.perf_counter()
+        for n in range(batch):
+            fire(n)
+        elapsed += time.perf_counter() - start
+        fired += batch
+        system.await_quiescence()
+    return elapsed / TRIGGERS
+
+
+def run_fanout(compiled: bool) -> float:
+    system, built = _system(compiled)
+
+    def wire(scaffold):
+        built["server"] = scaffold.create(EchoServer)
+        for _ in range(FANOUT):
+            client = scaffold.create(Collector, count=0)
+            scaffold.connect(
+                built["server"].provided(PingPort), client.required(PingPort)
+            )
+
+    system.bootstrap(Scaffold, wire)
+    system.await_quiescence()
+    server = built["server"].definition
+    face = server.port
+
+    per_event = _timed_storm(system, lambda n: dispatch.trigger(Pong(n), face))
+    system.shutdown()
+    return per_event
+
+
+def run_deep(compiled: bool) -> float:
+    system, built = _system(compiled)
+
+    def wire(scaffold):
+        built["wrap"] = scaffold.create(Wrapper, depth=DEPTH)
+
+    system.bootstrap(Scaffold, wire)
+    system.await_quiescence()
+    face = built["wrap"].provided(PingPort)
+
+    per_event = _timed_storm(system, lambda n: dispatch.trigger(Ping(n), face))
+    system.shutdown()
+    return per_event
+
+
+def test_fanout_dispatch():
+    _results["fan_out"] = {
+        "walker_us": run_fanout(compiled=False) * 1e6,
+        "compiled_us": run_fanout(compiled=True) * 1e6,
+    }
+    speedup = _results["fan_out"]["walker_us"] / _results["fan_out"]["compiled_us"]
+    _results["fan_out"]["speedup"] = speedup
+    assert speedup >= MIN_FANOUT_SPEEDUP, (
+        f"compiled dispatch only {speedup:.2f}x faster than the walker on the "
+        f"{FANOUT}-way fan-out (required: {MIN_FANOUT_SPEEDUP}x)"
+    )
+
+
+def test_deep_dispatch():
+    _results["deep"] = {
+        "walker_us": run_deep(compiled=False) * 1e6,
+        "compiled_us": run_deep(compiled=True) * 1e6,
+    }
+    _results["deep"]["speedup"] = (
+        _results["deep"]["walker_us"] / _results["deep"]["compiled_us"]
+    )
+    assert _results["deep"]["speedup"] > 1.0
+
+
+def test_report_and_emit_json():
+    if len(_results) < 2:  # pragma: no cover - partial selection
+        return
+    payload = {
+        "fanout": FANOUT,
+        "depth": DEPTH,
+        "triggers": TRIGGERS,
+        "full": FULL,
+        **_results,
+    }
+    with open("BENCH_dispatch.json", "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    rows = [
+        (
+            name,
+            f"{data['walker_us']:.2f} us",
+            f"{data['compiled_us']:.2f} us",
+            f"{data['speedup']:.2f}x",
+        )
+        for name, data in _results.items()
+    ]
+    print_table(
+        f"Compiled dispatch plans vs walker ({TRIGGERS} events/topology)",
+        ("topology", "walker", "compiled", "speedup"),
+        rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    os.environ.setdefault("PYTHONHASHSEED", "0")
+    test_fanout_dispatch()
+    test_deep_dispatch()
+    test_report_and_emit_json()

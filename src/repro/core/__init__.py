@@ -25,6 +25,7 @@ from .handler import handles
 from .lifecycle import ControlPort, Init, LifecycleState, Start, Stop
 from .port import Port, PortFace, PortType
 from .reconfig import replace_component
+from .routing import DeliveryPlan, compile_plan, plan_for
 
 __all__ = [
     "Channel",
@@ -34,6 +35,7 @@ __all__ = [
     "ConfigurationError",
     "ConnectionError",
     "ControlPort",
+    "DeliveryPlan",
     "Direction",
     "Event",
     "Fault",
@@ -51,9 +53,11 @@ __all__ = [
     "Start",
     "Stop",
     "SubscriptionError",
+    "compile_plan",
     "connect",
     "disconnect",
     "handles",
+    "plan_for",
     "replace_component",
     "trigger",
 ]

@@ -24,7 +24,7 @@ import threading
 from collections import deque
 from typing import Callable, Optional
 
-from . import dispatch
+from . import dispatch, routing
 from .errors import ConnectionError as KConnectionError
 from .event import Direction, Event
 from .port import PortFace, check_faces_connectable
@@ -60,7 +60,11 @@ class Channel:
         self.destroyed = False
         self._queue: deque[tuple[Event, Direction]] = deque()
         self._lock = threading.RLock()
-        self._prune_cache: dict[tuple[type[Event], Direction], tuple[int, bool]] = {}
+        # Walker-mode pruning cache, stamped with the generation it was
+        # built under; a stale stamp drops the whole table so entries for
+        # event types that never recur cannot accumulate.  Compiled
+        # dispatch does not use it (pruning is baked into the plans).
+        self._prune_cache: tuple[int, dict[tuple[type[Event], Direction], bool]] = (-1, {})
         provider.channels.append(self)
         requirer.channels.append(self)
         _bump_generation(provider)
@@ -91,6 +95,16 @@ class Channel:
             if self.held or destination is None:
                 self._queue.append((event, direction))
                 return
+        system = destination.owner.system
+        if system is not None and system.compiled_dispatch:
+            # Continue through the destination face's compiled plan.  This
+            # is the continuation point for selector channels (which always
+            # stay live steps in plans) and for any event that reaches a
+            # live channel through the reference walker of a plan-enabled
+            # system.  Pruning is inherent: an unreachable subtree compiles
+            # to an empty plan.
+            routing.execute(destination, event, direction)
+            return
         if self.prune and not self._reachable(destination, type(event), direction):
             return
         dispatch.arrive(destination, event, direction)
@@ -102,22 +116,37 @@ class Channel:
         if system is None or not system.prune_channels:
             return True
         generation = system.generation
-        cached = self._prune_cache.get((event_type, direction))
-        if cached is not None and cached[0] == generation:
-            return cached[1]
+        stamp, cache = self._prune_cache
+        if stamp != generation:
+            cache = {}
+            self._prune_cache = (generation, cache)
+        cached = cache.get((event_type, direction))
+        if cached is not None:
+            return cached
         result = dispatch.leads_to_subscriber(destination, event_type, direction)
-        self._prune_cache[(event_type, direction)] = (generation, result)
+        cache[(event_type, direction)] = result
         return result
+
+    def _bump(self) -> None:
+        """Invalidate compiled plans after a state change on this channel."""
+        end = self.positive_end if self.positive_end is not None else self.negative_end
+        if end is not None:
+            _bump_generation(end)
 
     # --------------------------------------------------------- reconfiguration
 
     def hold(self) -> None:
-        """Stop forwarding and start queueing events in both directions."""
+        """Stop forwarding and start queueing events in both directions.
+
+        Bumps the topology generation so compiled plans that inlined this
+        channel are recompiled with a queue-stop step in its place.
+        """
         with self._lock:
             self.held = True
             hook = _race_channel
             if hook is not None:
                 hook("hold", self, ())
+        self._bump()
 
     def resume(self) -> None:
         """Flush queued events in order, then resume normal forwarding."""
@@ -128,6 +157,7 @@ class Channel:
             with self._lock:
                 if not self._queue:
                     self.held = False
+                    self._bump()  # plans may re-inline this channel
                     return
                 event, direction = self._queue.popleft()
                 # Flushed events go toward whichever end can now receive
@@ -144,7 +174,7 @@ class Channel:
                     return
             if hook is not None:
                 hook("release", self, (event,))
-            dispatch.arrive(destination, event, direction)
+            dispatch.route(destination, event, direction)
 
     def unplug(self, face: PortFace) -> None:
         """Detach ``face`` from this channel; traffic toward it is queued."""

@@ -461,9 +461,17 @@ class ComponentCore:
         if item.face is None:
             return item.handlers
         event_type = type(item.event)
+        subscriptions = item.face.subscriptions
+        if len(subscriptions) == 1:
+            # Allocation-light fast path mirroring dispatch.deliver: most
+            # faces carry exactly one subscription.
+            s = subscriptions[0]
+            if s.owner is self and issubclass(event_type, s.event_type):
+                return (s.handler,)
+            return ()
         return tuple(
             s.handler
-            for s in tuple(item.face.subscriptions)
+            for s in tuple(subscriptions)
             if s.owner is self and issubclass(event_type, s.event_type)
         )
 
@@ -561,6 +569,7 @@ class ComponentCore:
                 for ch in tuple(face.channels):
                     ch.destroy()
                 face.subscriptions.clear()
+                face._plans = None  # drop compiled routes rooted here
         try:
             self.definition.tear_down()
         except Exception:  # noqa: BLE001 - teardown must not break destroy

@@ -18,12 +18,26 @@ port face:
 As an optimization (explicitly called out by the paper), forwarding along a
 channel is skipped when no compatible subscription is transitively reachable
 through it; see :func:`leads_to_subscriber`.
+
+Two interchangeable engines implement these rules:
+
+- the **recursive walker** below (:func:`arrive`/:func:`deliver`), which
+  re-derives the route for every event — retained as the executable
+  reference semantics, the compiler input, and the oracle for the
+  differential test suite;
+- **compiled dispatch plans** (:mod:`repro.core.routing`), which flatten
+  the walk once per topology generation and replay it as a routing table.
+
+:func:`route` picks the engine from ``ComponentSystem.compiled_dispatch``
+(plans by default; ``REPRO_COMPILED_DISPATCH=0`` or
+``ComponentSystem(compiled_dispatch=False)`` selects the walker).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from . import routing
 from .errors import PortTypeError
 from .event import Direction, Event
 
@@ -72,11 +86,29 @@ def trigger(event: Event, face: "PortFace") -> None:
             f"{direction.value} direction of {port.port_type.__name__} "
             f"(at {face!r})"
         )
-    arrive(face, event, direction)
+    route(face, event, direction)
+
+
+def route(face: "PortFace", event: Event, direction: Direction) -> None:
+    """Propagate an in-flight event from ``face`` with the active engine.
+
+    Compiled dispatch plans by default; the recursive reference walker when
+    the owning system was built with ``compiled_dispatch=False``.
+    """
+    system = face.port.owner.system
+    if system is not None and system.compiled_dispatch:
+        routing.execute(face, event, direction)
+    else:
+        arrive(face, event, direction)
 
 
 def arrive(face: "PortFace", event: Event, direction: Direction) -> None:
-    """Propagate an in-flight event from ``face`` per the rules above."""
+    """Propagate an in-flight event from ``face`` per the rules above.
+
+    This is the recursive *reference walker*: the executable specification
+    that :func:`repro.core.routing.compile_plan` flattens and that the
+    differential tests replay as the oracle.
+    """
     deliver(face, event, direction)
     port = face.port
     inward = direction is port.boundary_inward
@@ -102,11 +134,19 @@ def deliver(face: "PortFace", event: Event, direction: Direction) -> None:
     events from being handled — the paper's reply-only-once example (§2.2)
     relies on this.
     """
-    if direction is not face.incoming or not face.subscriptions:
+    subscriptions = face.subscriptions
+    if direction is not face.incoming or not subscriptions:
         return
     event_type = type(event)
+    if len(subscriptions) == 1:
+        # Allocation-free fast path for the dominant single-subscription
+        # face: no snapshot tuple, no owner-dedup dict.
+        subscription = subscriptions[0]
+        if issubclass(event_type, subscription.event_type):
+            subscription.owner.receive_event(event, face)
+        return
     owners: dict["ComponentCore", None] = {}
-    for subscription in tuple(face.subscriptions):
+    for subscription in tuple(subscriptions):
         if issubclass(event_type, subscription.event_type):
             owners.setdefault(subscription.owner)
     for owner in owners:

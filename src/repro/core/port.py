@@ -89,13 +89,16 @@ class PortType:
 class PortFace:
     """One face of a port instance: a subscription and channel attachment point."""
 
-    __slots__ = ("port", "is_inside", "subscriptions", "channels")
+    __slots__ = ("port", "is_inside", "subscriptions", "channels", "_plans")
 
     def __init__(self, port: "Port", is_inside: bool) -> None:
         self.port = port
         self.is_inside = is_inside
         self.subscriptions: list["Subscription"] = []
         self.channels: list["Channel"] = []
+        #: Compiled-dispatch cache: ``(generation, {(event_type, direction):
+        #: DeliveryPlan})`` or None; managed by :mod:`repro.core.routing`.
+        self._plans: tuple[int, dict] | None = None
 
     @property
     def owner(self) -> "ComponentCore":

@@ -14,6 +14,8 @@ exception to stderr and halts the system, exactly as the paper describes;
 
 from __future__ import annotations
 
+import itertools
+import os
 import random as random_module
 import sys
 import threading
@@ -43,6 +45,7 @@ class ComponentSystem:
         clock: Optional[Clock] = None,
         fault_policy: str = "halt",
         prune_channels: bool = True,
+        compiled_dispatch: Optional[bool] = None,
         name: str = "kompics",
     ) -> None:
         if fault_policy not in FAULT_POLICIES:
@@ -57,6 +60,12 @@ class ComponentSystem:
         self.seed = seed
         self.fault_policy = fault_policy
         self.prune_channels = prune_channels
+        if compiled_dispatch is None:
+            compiled_dispatch = os.environ.get("REPRO_COMPILED_DISPATCH", "1") != "0"
+        #: Route events through generation-invalidated compiled plans
+        #: (:mod:`repro.core.routing`) instead of the recursive reference
+        #: walker.  ``REPRO_COMPILED_DISPATCH=0`` flips the default.
+        self.compiled_dispatch = compiled_dispatch
         self.roots: list[ComponentCore] = []
         self.components: set[ComponentCore] = set()
         self.unhandled_faults: list["Fault"] = []
@@ -66,6 +75,7 @@ class ComponentSystem:
         self.tracer = None
         self._component_sequence = 0
         self._generation = 0
+        self._generation_counter = itertools.count(1)
         self._active = 0
         self._quiet = threading.Condition()
 
@@ -163,11 +173,20 @@ class ComponentSystem:
         self.components.discard(component)
 
     def bump_generation(self) -> None:
-        """Invalidate channel-pruning caches after a topology change."""
-        self._generation += 1
+        """Start a new topology generation (epoch) after a routing change.
+
+        Compiled dispatch plans and walker-mode pruning caches are keyed on
+        the generation, so bumping it invalidates every cached route in one
+        integer write.  Callers: subscribe/unsubscribe, connect/disconnect,
+        hold/resume, plug/unplug, component create/destroy.  The counter is
+        drawn from :func:`itertools.count` so concurrent bumps from racing
+        reconfigurations each observe a strictly fresh generation.
+        """
+        self._generation = next(self._generation_counter)
 
     @property
     def generation(self) -> int:
+        """The current topology generation (monotonically increasing)."""
         return self._generation
 
     # ------------------------------------------------------------------ fault

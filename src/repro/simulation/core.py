@@ -41,17 +41,23 @@ class Simulation:
         seed: int = 0,
         fault_policy: str = "raise",
         prune_channels: bool = True,
+        compiled_dispatch: Optional[bool] = None,
         name: str = "simulation",
     ) -> None:
         self.clock = VirtualClock()
         self.scheduler = ManualScheduler()
         self.queue = EventQueue()
+        # The deterministic runtime dispatches through the same compiled
+        # plans as the production system: plan compilation depends only on
+        # the topology, never on time or scheduling, so simulated traces
+        # are engine-independent (the differential suite pins this).
         self.system = ComponentSystem(
             scheduler=self.scheduler,
             clock=self.clock,
             seed=seed,
             fault_policy=fault_policy,
             prune_channels=prune_channels,
+            compiled_dispatch=compiled_dispatch,
             name=name,
         )
         self.system.register_service(QUEUE_SERVICE, self.queue)
