@@ -1,0 +1,60 @@
+"""Full-tree analysis speed: the lint+flow run CI pays on every push.
+
+Times ``lint_paths`` and ``flow.analyze_paths`` over ``src`` and
+``examples`` — the exact work of the gating CI steps — plus the combined
+run, which exercises the shared AST parse cache (each source file must be
+parsed once, not once per pass).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py -q
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ast_lint
+from repro.analysis.ast_lint import lint_paths
+from repro.analysis.flow import analyze_paths
+
+ROOT = Path(__file__).resolve().parent.parent
+PATHS = [ROOT / "src", ROOT / "examples"]
+
+
+def test_lint_full_tree(benchmark):
+    benchmark(lambda: lint_paths(PATHS))
+
+
+def test_flow_full_tree(benchmark):
+    benchmark(lambda: analyze_paths(PATHS))
+
+
+def test_lint_plus_flow_shares_parses(benchmark):
+    """The combined run: flow after lint re-uses every cached parse."""
+
+    def combined():
+        lint_paths(PATHS)
+        return analyze_paths(PATHS)
+
+    benchmark(combined)
+
+
+def test_parse_cache_is_shared():
+    """Structural check: after a lint run, the flow pass performs zero
+    fresh parses for the same (unchanged) file set."""
+    ast_lint.clear_parse_cache()
+    lint_paths(PATHS)
+    parses = 0
+
+    class Counting(dict):
+        def __setitem__(self, key, value):
+            nonlocal parses
+            parses += 1
+            super().__setitem__(key, value)
+
+    counting = Counting(ast_lint._parse_cache)
+    ast_lint._parse_cache = counting
+    try:
+        analyze_paths(PATHS)
+    finally:
+        ast_lint._parse_cache = dict(counting)
+    assert parses == 0, f"flow re-parsed {parses} files the lint already parsed"

@@ -86,6 +86,9 @@ class ProjectIndex:
         self.classes: dict[str, ClassInfo] = {}
         self.bases: dict[str, set[str]] = {}
         self.port_events: dict[str, dict[str, tuple[str, ...]]] = {}
+        #: port type name -> {request event name: (indication names, ...)}
+        #: from ``responds_to = {...}`` class attributes.
+        self.port_responds_to: dict[str, dict[str, tuple[str, ...]]] = {}
 
     # ------------------------------------------------------------- building
 
@@ -119,6 +122,10 @@ class ProjectIndex:
                             n for n in map(_base_name, item.value.elts) if n
                         )
                         decl[target.id] = names
+                elif isinstance(target, ast.Name) and target.id == "responds_to":
+                    mapping = _extract_responds_to(item.value)
+                    if mapping:
+                        self.port_responds_to.setdefault(node.name, {}).update(mapping)
         if decl:
             existing = self.port_events.setdefault(node.name, {})
             existing.update(decl)
@@ -191,6 +198,25 @@ class ProjectIndex:
             else:
                 frontier.extend(self.bases.get(current, ()))
         return None
+
+
+def _extract_responds_to(value: ast.expr) -> dict[str, tuple[str, ...]]:
+    """Parse a ``responds_to = {Request: (Indication, ...)}`` literal."""
+    mapping: dict[str, tuple[str, ...]] = {}
+    if not isinstance(value, ast.Dict):
+        return mapping
+    for key, val in zip(value.keys, value.values):
+        request = _base_name(key) if key is not None else None
+        if request is None:
+            continue
+        if isinstance(val, (ast.Tuple, ast.List)):
+            indications = tuple(n for n in map(_base_name, val.elts) if n)
+        else:
+            name = _base_name(val)
+            indications = (name,) if name else ()
+        if indications:
+            mapping[request] = indications
+    return mapping
 
 
 def _handles_decorator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Optional[str]:
@@ -304,9 +330,28 @@ def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
     return files
 
 
+#: Parse cache shared by every analysis pass (AST lint, flow extractor):
+#: resolved path -> ((mtime_ns, size), ModuleInfo).  One source file is
+#: parsed once per run even when several passes walk the same tree.
+_parse_cache: dict[Path, tuple[tuple[int, int], ModuleInfo]] = {}
+
+
+def clear_parse_cache() -> None:
+    _parse_cache.clear()
+
+
 def parse_module(path: Path) -> Optional[ModuleInfo]:
     try:
-        source = path.read_text(encoding="utf-8")
+        resolved = path.resolve()
+        stat = resolved.stat()
+    except OSError:
+        return None
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _parse_cache.get(resolved)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    try:
+        source = resolved.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
     except (OSError, SyntaxError):
         return None
@@ -318,6 +363,7 @@ def parse_module(path: Path) -> Optional[ModuleInfo]:
         elif isinstance(node, ast.ImportFrom) and node.module:
             for alias in node.names:
                 module.imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    _parse_cache[resolved] = (stamp, module)
     return module
 
 

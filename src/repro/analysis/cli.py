@@ -93,6 +93,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .race.cli import main as race_main
 
         return race_main(argv[1:])
+    if argv and argv[0] == "flow":
+        from .flow.cli import main as flow_main
+
+        return flow_main(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)

@@ -10,6 +10,10 @@ grouped by pass:
   catalogued here so docs and suppression share one namespace)
 - ``R0xx`` — concurrency analysis: happens-before races, determinism
   violations, schedule-dependent failures (:mod:`repro.analysis.race`)
+- ``F0xx`` — whole-program event-flow analysis: producer/consumer graph
+  over (port type, direction, event type) (:mod:`repro.analysis.flow`)
+- ``C0xx`` — consistency checker results surfaced as findings
+  (:mod:`repro.consistency.checker`)
 
 A finding is suppressed at the source line with a trailing
 ``# repro: noqa[A001]`` comment (see :mod:`repro.analysis.config` for
@@ -30,7 +34,7 @@ class Rule:
     id: str
     name: str
     summary: str
-    pass_: str  # "ast" | "wiring" | "sanitizer"
+    pass_: str  # "ast" | "wiring" | "sanitizer" | "race" | "flow" | "consistency"
 
 
 #: The rule catalogue.  Keep ids stable: they appear in suppression
@@ -132,6 +136,43 @@ register_rule(
     "the scenario fail while the FIFO baseline passes (found by the "
     "schedule explorer; shrunk and replayable)",
     "race",
+)
+register_rule(
+    "F001", "contract-violating-trigger",
+    "trigger of an event type that the port type does not admit in the "
+    "direction the trigger site emits (would raise PortTypeError at runtime)",
+    "flow",
+)
+register_rule(
+    "F002", "dead-handler",
+    "a subscription for which no trigger site anywhere in the program "
+    "produces a matching event on that port type and direction",
+    "flow",
+)
+register_rule(
+    "F003", "lost-event",
+    "a trigger for which no subscription anywhere in the program consumes "
+    "the event on that port type and direction (the event always vanishes)",
+    "flow",
+)
+register_rule(
+    "F004", "request-response-mismatch",
+    "a request is triggered but none of its responds_to indications is "
+    "handled anywhere, or an indication is awaited but its paired request "
+    "is never triggered",
+    "flow",
+)
+register_rule(
+    "F005", "stale-contract",
+    "an event type declared in a port's positive/negative set that nothing "
+    "in the program triggers or handles (dead vocabulary)",
+    "flow",
+)
+register_rule(
+    "C001", "non-linearizable-history",
+    "the consistency checker found no legal sequential order of the "
+    "recorded register operations that respects real time",
+    "consistency",
 )
 
 

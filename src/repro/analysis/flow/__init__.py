@@ -1,0 +1,30 @@
+"""Whole-program static event-flow analysis (rules F001-F005).
+
+Joins every component's port declarations, handler subscriptions and
+``trigger(...)`` call sites with the ``PortType.positive``/``negative``
+contract sets into a program-wide producer/consumer graph over
+``(port type, direction, event type)``, then checks the graph for
+contract-violating triggers, dead handlers, lost events, unanswered
+requests and stale contract vocabulary.
+
+Like the AST lint, the pass is purely syntactic and name-based: nothing
+is imported or executed, and any site it cannot ground (a port held in a
+variable it cannot trace, an event built by a helper) degrades to a
+*wildcard* record that satisfies matches but never raises findings.
+"""
+
+from .extract import Consumer, Face, FlowExtraction, Producer, PortDecl
+from .graph import FlowGraph, analyze_paths, build_flow_graph
+from .dot import to_dot
+
+__all__ = [
+    "Consumer",
+    "Face",
+    "FlowExtraction",
+    "FlowGraph",
+    "PortDecl",
+    "Producer",
+    "analyze_paths",
+    "build_flow_graph",
+    "to_dot",
+]

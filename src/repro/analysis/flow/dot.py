@@ -1,0 +1,64 @@
+"""Deterministic Graphviz export of the event-flow graph.
+
+Bipartite layout: component boxes connect through event-channel
+ellipses labelled ``PortType dir Event``.  Producers point into the
+channel, consumers out of it.  Output is fully sorted so the checked-in
+CATS export can be diff-checked in CI.
+"""
+
+from __future__ import annotations
+
+from .extract import Consumer, Producer
+from .graph import FlowGraph
+
+
+def _channel(port_type: str, direction: str, event: str | None) -> str:
+    return f"{port_type} {direction} {event or '*'}"
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: FlowGraph,
+    files: set[str] | None = None,
+    title: str = "event-flow",
+) -> str:
+    """Render the graph (restricted to ``files`` when given) as DOT text."""
+
+    def included(record: Producer | Consumer) -> bool:
+        return files is None or record.file in files
+
+    producer_edges: set[tuple[str, str]] = set()
+    consumer_edges: set[tuple[str, str]] = set()
+    components: set[str] = set()
+    channels: set[str] = set()
+    for producer in graph.producers:
+        if not included(producer):
+            continue
+        channel = _channel(producer.port_type, producer.direction, producer.event)
+        components.add(producer.component)
+        channels.add(channel)
+        producer_edges.add((producer.component, channel))
+    for consumer in graph.consumers:
+        if not included(consumer):
+            continue
+        channel = _channel(consumer.port_type, consumer.direction, consumer.event)
+        components.add(consumer.component)
+        channels.add(channel)
+        consumer_edges.add((channel, consumer.component))
+
+    lines = [
+        f"digraph {_quote(title)} {{",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for component in sorted(components):
+        lines.append(f"  {_quote(component)} [shape=box];")
+    for channel in sorted(channels):
+        lines.append(f"  {_quote(channel)} [shape=ellipse, style=dashed];")
+    for src, dst in sorted(producer_edges | consumer_edges):
+        lines.append(f"  {_quote(src)} -> {_quote(dst)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,329 @@
+"""Join extracted records into a program-wide flow graph and check it.
+
+The graph always covers the *whole program*: the scanned paths plus the
+installed ``repro`` package (so running over ``examples/`` alone still
+sees the framework's Timer and Network producers).  Findings, however,
+are only reported for files under the scanned paths — the framework is
+context, not the subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from ..ast_lint import (
+    ModuleInfo,
+    ProjectIndex,
+    _framework_registry_paths,
+    build_index,
+    iter_python_files,
+    parse_module,
+)
+from ..config import AnalysisConfig, is_suppressed
+from ..findings import Finding
+from .extract import (
+    NEGATIVE,
+    POSITIVE,
+    Consumer,
+    FlowExtraction,
+    PortDecl,
+    Producer,
+    _Extractor,
+)
+
+#: Port types whose traffic the runtime manages itself (lifecycle plane);
+#: their contracts are exercised by the kernel, not by component code.
+_CONTROL_PORTS = frozenset({"ControlPort"})
+
+_DIRECTION_WORD = {POSITIVE: "positive (indication)", NEGATIVE: "negative (request)"}
+
+
+@dataclass
+class FlowGraph:
+    """The joined producer/consumer view plus the index it was built from."""
+
+    index: ProjectIndex
+    producers: list[Producer] = field(default_factory=list)
+    consumers: list[Consumer] = field(default_factory=list)
+    port_decls: list[PortDecl] = field(default_factory=list)
+    _producers_by_key: dict[tuple[str, str], list[Producer]] = field(
+        default_factory=dict
+    )
+    _consumers_by_key: dict[tuple[str, str], list[Consumer]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_extraction(
+        cls, index: ProjectIndex, extraction: FlowExtraction
+    ) -> "FlowGraph":
+        graph = cls(
+            index,
+            extraction.producers,
+            extraction.consumers,
+            extraction.port_decls,
+        )
+        for producer in graph.producers:
+            key = (producer.port_type, producer.direction)
+            graph._producers_by_key.setdefault(key, []).append(producer)
+        for consumer in graph.consumers:
+            key = (consumer.port_type, consumer.direction)
+            graph._consumers_by_key.setdefault(key, []).append(consumer)
+        return graph
+
+    # -------------------------------------------------------------- queries
+
+    def _related(self, a: Optional[str], b: Optional[str]) -> bool:
+        """Wildcards match everything; otherwise reflexive subtype relation."""
+        if a is None or b is None:
+            return True
+        return self.index.events_related(a, b)
+
+    def producers_for(
+        self, port_type: str, direction: str, event: Optional[str]
+    ) -> list[Producer]:
+        return [
+            p
+            for p in self._producers_by_key.get((port_type, direction), ())
+            if self._related(p.event, event)
+        ]
+
+    def consumers_for(
+        self, port_type: str, direction: str, event: Optional[str]
+    ) -> list[Consumer]:
+        return [
+            c
+            for c in self._consumers_by_key.get((port_type, direction), ())
+            if self._related(c.event, event)
+        ]
+
+    # --------------------------------------------------------------- checks
+
+    def check(self) -> Iterator[tuple[str, str, str, int, Optional[int], dict]]:
+        """Yield ``(rule, message, file, line, col, extra)`` for every hit."""
+        flagged_f001: set[tuple[str, int]] = set()
+        yield from self._check_f001(flagged_f001)
+        yield from self._check_f002()
+        yield from self._check_f003(flagged_f001)
+        yield from self._check_f004()
+        yield from self._check_f005()
+
+    def _contract(self, port_type: str, direction: str) -> Optional[tuple[str, ...]]:
+        """Declared events for a direction, or None when ungroundable."""
+        name = "positive" if direction == POSITIVE else "negative"
+        declared = self.index.port_direction_events(port_type, name)
+        if declared is None:
+            return None
+        if not all(self.index.is_event(event) for event in declared):
+            return None  # a declared name we cannot ground: stay silent
+        return declared
+
+    def _check_f001(self, flagged: set[tuple[str, int]]) -> Iterator:
+        for producer in self.producers:
+            if producer.event is None:
+                continue
+            declared = self._contract(producer.port_type, producer.direction)
+            if declared is None:
+                continue
+            if any(self._related(producer.event, d) for d in declared):
+                continue
+            flagged.add((producer.file, producer.line))
+            yield (
+                "F001",
+                f"{producer.component} triggers {producer.event} on "
+                f"{producer.port_type} in the "
+                f"{_DIRECTION_WORD[producer.direction]} direction, which its "
+                f"contract does not admit (declared: {', '.join(declared) or 'nothing'})",
+                producer.file,
+                producer.line,
+                producer.col,
+                {"port": producer.port_type, "event": producer.event},
+            )
+
+    def _check_f002(self) -> Iterator:
+        for consumer in self.consumers:
+            if consumer.event is None:
+                continue
+            if self.producers_for(
+                consumer.port_type, consumer.direction, consumer.event
+            ):
+                continue
+            yield (
+                "F002",
+                f"dead handler: {consumer.component}.{consumer.handler} awaits "
+                f"{consumer.event} on {consumer.port_type}, but nothing in the "
+                f"program triggers it in the "
+                f"{_DIRECTION_WORD[consumer.direction]} direction",
+                consumer.file,
+                consumer.line,
+                consumer.col,
+                {"port": consumer.port_type, "event": consumer.event},
+            )
+
+    def _check_f003(self, flagged_f001: set[tuple[str, int]]) -> Iterator:
+        for producer in self.producers:
+            if producer.event is None:
+                continue
+            if (producer.file, producer.line) in flagged_f001:
+                continue  # already a contract violation; don't double-report
+            if self.consumers_for(
+                producer.port_type, producer.direction, producer.event
+            ):
+                continue
+            yield (
+                "F003",
+                f"lost event: {producer.component} triggers {producer.event} on "
+                f"{producer.port_type}, but no subscription anywhere consumes it "
+                f"in the {_DIRECTION_WORD[producer.direction]} direction",
+                producer.file,
+                producer.line,
+                producer.col,
+                {"port": producer.port_type, "event": producer.event},
+            )
+
+    def _check_f004(self) -> Iterator:
+        for port_type in sorted(self.index.port_responds_to):
+            mapping = self.index.port_responds_to[port_type]
+            for request in sorted(mapping):
+                indications = mapping[request]
+                if not self.index.is_event(request) or not all(
+                    self.index.is_event(i) for i in indications
+                ):
+                    continue
+                indication_consumed = any(
+                    self.consumers_for(port_type, POSITIVE, indication)
+                    for indication in indications
+                )
+                request_producers = [
+                    p
+                    for p in self.producers_for(port_type, NEGATIVE, request)
+                    if p.event is not None
+                ]
+                if request_producers and not indication_consumed:
+                    for producer in request_producers:
+                        yield (
+                            "F004",
+                            f"{producer.component} triggers request "
+                            f"{producer.event} on {port_type}, but none of its "
+                            f"responds_to indications "
+                            f"({', '.join(indications)}) is handled anywhere",
+                            producer.file,
+                            producer.line,
+                            producer.col,
+                            {"port": port_type, "event": producer.event},
+                        )
+                request_produced = bool(
+                    self.producers_for(port_type, NEGATIVE, request)
+                )
+                if request_produced:
+                    continue
+                for consumer in self._consumers_by_key.get(
+                    (port_type, POSITIVE), ()
+                ):
+                    if consumer.event is None:
+                        continue
+                    if not any(
+                        self._related(consumer.event, i) for i in indications
+                    ):
+                        continue
+                    yield (
+                        "F004",
+                        f"{consumer.component}.{consumer.handler} awaits "
+                        f"indication {consumer.event} on {port_type}, but its "
+                        f"responds_to request {request} is never triggered",
+                        consumer.file,
+                        consumer.line,
+                        consumer.col,
+                        {"port": port_type, "event": consumer.event},
+                    )
+
+    def _check_f005(self) -> Iterator:
+        for decl in self.port_decls:
+            if decl.port_type in _CONTROL_PORTS:
+                continue
+            if not self.index.is_event(decl.event):
+                continue
+            if self.producers_for(decl.port_type, decl.direction, decl.event):
+                continue
+            if self.consumers_for(decl.port_type, decl.direction, decl.event):
+                continue
+            yield (
+                "F005",
+                f"stale contract: {decl.port_type} declares {decl.event} in its "
+                f"{_DIRECTION_WORD[decl.direction]} set, but nothing in the "
+                f"program triggers or handles it",
+                decl.file,
+                decl.line,
+                None,
+                {"port": decl.port_type, "event": decl.event},
+            )
+
+
+# ------------------------------------------------------------------- driver
+
+
+def build_flow_graph(
+    paths: Iterable[Path | str],
+    config: Optional[AnalysisConfig] = None,
+) -> tuple[FlowGraph, dict[str, ModuleInfo]]:
+    """Build the whole-program graph; returns it plus the scanned modules.
+
+    The second element maps file path (as reported in findings) to its
+    :class:`ModuleInfo` — the scan set that findings are restricted to.
+    """
+    config = config or AnalysisConfig()
+    scanned: dict[str, ModuleInfo] = {}
+    modules: list[ModuleInfo] = []
+    for path in iter_python_files(paths):
+        if config.path_excluded(path):
+            continue
+        module = parse_module(path)
+        if module is not None:
+            modules.append(module)
+            scanned[str(module.path)] = module
+    index = build_index(modules, _framework_registry_paths())
+
+    extractor = _Extractor(index)
+    extraction = FlowExtraction()
+    seen = {module.path.resolve() for module in modules}
+    for module in modules:
+        extraction.extend(extractor.extract_module(module))
+    for path in iter_python_files(_framework_registry_paths()):
+        if path.resolve() in seen:
+            continue
+        module = parse_module(path)
+        if module is not None:
+            extraction.extend(extractor.extract_module(module))
+    return FlowGraph.from_extraction(index, extraction), scanned
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    config: Optional[AnalysisConfig] = None,
+) -> list[Finding]:
+    """Run the flow pass over files/directories; returns sorted findings."""
+    config = config or AnalysisConfig()
+    graph, scanned = build_flow_graph(paths, config)
+    findings: list[Finding] = []
+    for rule_id, message, file, line, col, extra in graph.check():
+        module = scanned.get(file)
+        if module is None:
+            continue  # framework context: report only on scanned files
+        if not config.rule_enabled(rule_id):
+            continue
+        if is_suppressed(rule_id, module.line(line)):
+            continue
+        findings.append(
+            Finding(
+                rule=rule_id,
+                message=message,
+                file=file,
+                line=line,
+                col=col,
+                extra=extra,
+            )
+        )
+    findings.sort(key=lambda f: (f.file or "", f.line or 0, f.rule))
+    return findings

@@ -34,11 +34,13 @@ from typing import Optional
 
 from ..core.component import ComponentDefinition
 from ..core.handler import handles
-from ..core.lifecycle import Start
+from ..core.lifecycle import Start, Stop
 from ..network.address import Address
 from ..network.message import Network
 from ..protocols.router.port import Resolve, ResolveFailed, Resolved, Router
 from ..timer.port import (
+    CancelPeriodicTimeout,
+    CancelTimeout,
     SchedulePeriodicTimeout,
     ScheduleTimeout,
     Timeout,
@@ -126,6 +128,7 @@ class _Op:
     write_acks: set[Address] = field(default_factory=set)
     pending_record: Optional[Record] = None
     done: bool = False
+    timeout_id: int = 0  # the current attempt's OpTimeout, cancelled on completion
 
 
 @dataclass(frozen=True)
@@ -231,18 +234,28 @@ class ConsistentAbd(ComponentDefinition):
         self.subscribe(self.on_op_retry, self.timer)
         self.subscribe(self.on_install_retry, self.timer)
         self.subscribe(self.on_reballot_tick, self.timer)
+        self._gc_timeout_id = 0
         if self.gc_interval > 0:
             self.subscribe(self.on_gc_tick, self.timer)
             self.subscribe(self.on_started, self.control)
+            self.subscribe(self.on_stopped, self.control)
 
     @handles(Start)
     def on_started(self, _event: Start) -> None:
+        self._gc_timeout_id = new_timeout_id()
         self.trigger(
             SchedulePeriodicTimeout(
-                self.gc_interval, self.gc_interval, GcTick(new_timeout_id())
+                self.gc_interval, self.gc_interval, GcTick(self._gc_timeout_id)
             ),
             self.timer,
         )
+
+    @handles(Stop)
+    def on_stopped(self, _event: Stop) -> None:
+        """A stopped node must not keep a periodic GC timer ticking."""
+        if self._gc_timeout_id:
+            self.trigger(CancelPeriodicTimeout(self._gc_timeout_id), self.timer)
+            self._gc_timeout_id = 0
 
     @handles(GcTick)
     def on_gc_tick(self, _tick: GcTick) -> None:
@@ -740,9 +753,12 @@ class ConsistentAbd(ComponentDefinition):
             # The router's hint keeps missing: ask the (authoritative but
             # slower) ring walk instead.
             self.trigger(RingLookup(op.key, op_id=op.op_id), self.ring)
+        if op.timeout_id:
+            self.trigger(CancelTimeout(op.timeout_id), self.timer)
+        op.timeout_id = new_timeout_id()
         self.trigger(
             ScheduleTimeout(
-                self.op_timeout, OpTimeout(new_timeout_id(), op_id=op.op_id, attempt=op.attempt)
+                self.op_timeout, OpTimeout(op.timeout_id, op_id=op.op_id, attempt=op.attempt)
             ),
             self.timer,
         )
@@ -930,7 +946,15 @@ class ConsistentAbd(ComponentDefinition):
         op.done = True
         self.ops_completed += 1
         del self._ops[op.op_id]
+        self._cancel_op_timeout(op)
         self.trigger(response, self.putget)
+
+    def _cancel_op_timeout(self, op: _Op) -> None:
+        """Release the pending attempt timer: a completed operation must not
+        leave a stale OpTimeout ticking in the timer wheel."""
+        if op.timeout_id:
+            self.trigger(CancelTimeout(op.timeout_id), self.timer)
+            op.timeout_id = 0
 
     def _fail(self, op: _Op, reason: str) -> None:
         if op.done:
@@ -938,6 +962,7 @@ class ConsistentAbd(ComponentDefinition):
         op.done = True
         self.ops_failed += 1
         self._ops.pop(op.op_id, None)
+        self._cancel_op_timeout(op)
         if op.kind == "put":
             self.trigger(
                 PutResponse(op.op_id, op.key, ok=False, error=reason), self.putget

@@ -68,6 +68,10 @@ class PutGet(PortType):
 
     positive = (PutResponse, GetResponse)
     negative = (PutRequest, GetRequest)
+    responds_to = {
+        PutRequest: (PutResponse,),
+        GetRequest: (GetResponse,),
+    }
 
 
 # -------------------------------------------------------------- Ring port
@@ -114,6 +118,10 @@ class Ring(PortType):
 
     positive = (RingLookupResponse, RingReady, RingNeighbors)
     negative = (RingJoin, RingLookup)
+    responds_to = {
+        RingJoin: (RingReady,),
+        RingLookup: (RingLookupResponse,),
+    }
 
 
 # ------------------------------------------------------- ring wire messages

@@ -29,6 +29,28 @@ class CheckResult:
     witness: Optional[tuple[int, ...]] = None  # op ids in linearized order
     reason: str = ""
 
+    def to_findings(self) -> list:
+        """Non-linearizable results as standard analysis findings (C001).
+
+        ``python -m repro.analysis`` is the single reporting surface for
+        every checker in the repo; scenario drivers collect these next to
+        the static-analysis findings instead of inventing their own shape.
+        """
+        from ..analysis.findings import Finding
+
+        if self.linearizable:
+            return []
+        where = "history" if self.key is None else f"key {self.key}"
+        return [
+            Finding(
+                rule="C001",
+                message=f"non-linearizable {where}: "
+                + (self.reason or "no legal sequential order exists"),
+                obj=where,
+                extra={} if self.key is None else {"key": self.key},
+            )
+        ]
+
 
 def check_history(history: History) -> CheckResult:
     """Check every key's sub-history; registers are independent."""

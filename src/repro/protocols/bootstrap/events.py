@@ -35,6 +35,7 @@ class Bootstrap(PortType):
 
     positive = (BootstrapResponse,)
     negative = (BootstrapRequest, BootstrapDone)
+    responds_to = {BootstrapRequest: (BootstrapResponse,)}
 
 
 # ---------------------------------------------------------------- messages

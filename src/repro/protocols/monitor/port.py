@@ -36,3 +36,4 @@ class Status(PortType):
 
     positive = (StatusResponse, StatusSnapshotEnd)
     negative = (StatusRequest,)
+    responds_to = {StatusRequest: (StatusResponse, StatusSnapshotEnd)}

@@ -13,9 +13,10 @@ import bisect
 
 from ...core.component import ComponentDefinition
 from ...core.handler import handles
+from ...core.lifecycle import Start
 from ...network.address import Address
 from ..failure_detector.port import FailureDetector, Restore, Suspect
-from ..overlay.port import NodeSampling, Sample
+from ..overlay.port import NodeSampling, Sample, SampleRequest
 from .port import Resolve, ResolveFailed, Resolved, Router
 
 
@@ -35,10 +36,18 @@ class OneHopRouter(ComponentDefinition):
         self._sorted_ids: list[int] = [address.node_id]
         self.resolutions = 0
 
+        self.subscribe(self.on_start, self.control)
         self.subscribe(self.on_sample, self.sampling)
         self.subscribe(self.on_resolve, self.router)
         self.subscribe(self.on_suspect, self.fd)
         self.subscribe(self.on_restore, self.fd)
+
+    @handles(Start)
+    def on_start(self, _event: Start) -> None:
+        # Pull the overlay's current view immediately instead of waiting a
+        # full shuffle period for the first periodic Sample push: the table
+        # answers Resolve requests one period sooner after (re)start.
+        self.trigger(SampleRequest(), self.sampling)
 
     # ------------------------------------------------------------- membership
 

@@ -45,3 +45,4 @@ class Router(PortType):
 
     positive = (Resolved, ResolveFailed)
     negative = (Resolve,)
+    responds_to = {Resolve: (Resolved, ResolveFailed)}
