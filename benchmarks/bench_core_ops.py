@@ -107,3 +107,42 @@ def test_connect_disconnect(benchmark, world):
         channel.destroy()
 
     benchmark(cycle)
+
+
+# ---------------------------------------------------------------- allocation
+#
+# The simulation hot loop allocates one event plus one WorkItem per delivered
+# message; these pin the primitive allocation costs.  Slotted events skip the
+# per-instance ``__dict__`` (and the sanitizer's weakref slot rides along on
+# the Event base), which is why hot-path protocol events should be declared
+# ``@dataclass(frozen=True, slots=True)``.
+
+from dataclasses import dataclass  # noqa: E402
+
+from repro import Event  # noqa: E402
+from repro.core.component import WorkItem  # noqa: E402
+
+
+@dataclass(frozen=True)
+class _DictEvent(Event):
+    n: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class _SlotEvent(Event):
+    n: int = 0
+
+
+def test_event_allocation_dict(benchmark):
+    benchmark(lambda: [_DictEvent(n) for n in range(1000)])
+
+
+def test_event_allocation_slots(benchmark):
+    benchmark(lambda: [_SlotEvent(n) for n in range(1000)])
+
+
+def test_work_item_allocation(benchmark):
+    """WorkItem is a NamedTuple: construction is ``tuple.__new__``, with no
+    Python-level ``__init__`` frame."""
+    event = _SlotEvent(1)
+    benchmark(lambda: [WorkItem(event, None, (), False) for _ in range(1000)])

@@ -25,6 +25,7 @@ Two ways an access is observed:
 
 from __future__ import annotations
 
+import dataclasses
 import reprlib
 import traceback
 from typing import TYPE_CHECKING, Optional
@@ -117,8 +118,18 @@ class AccessRecorder:
         payloads: list[tuple[str, object]] = []
         attrs = getattr(event, "__dict__", None)
         if attrs:
+            items = list(attrs.items())
+        elif dataclasses.is_dataclass(event):
+            # Hot events are slotted frozen dataclasses (no __dict__):
+            # probe their declared fields instead.
+            items = [
+                (f.name, getattr(event, f.name)) for f in dataclasses.fields(event)
+            ]
+        else:
+            items = []
+        if items:
             type_name = type(event).__name__
-            for attr, value in attrs.items():
+            for attr, value in items:
                 for name, obj in self._walk_payload(f"{type_name}.{attr}", value):
                     payloads.append((name, obj))
                     self._state_for(obj, name)

@@ -32,20 +32,20 @@ def new_op_id() -> int:
 # ----------------------------------------------------------- PutGet port
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PutRequest(Event):
     key: int
     value: object
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetRequest(Event):
     key: int
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PutResponse(Event):
     op_id: int
     key: int
@@ -53,7 +53,7 @@ class PutResponse(Event):
     error: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetResponse(Event):
     op_id: int
     key: int
@@ -77,14 +77,14 @@ class PutGet(PortType):
 # -------------------------------------------------------------- Ring port
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RingJoin(Event):
     """Join the ring via ``seeds`` (empty: create a fresh ring)."""
 
     seeds: tuple[Address, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RingLookup(Event):
     """Resolve the node responsible for ``key`` via the ring itself."""
 
@@ -92,7 +92,7 @@ class RingLookup(Event):
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RingLookupResponse(Event):
     key: int
     responsible: Address
@@ -100,12 +100,12 @@ class RingLookupResponse(Event):
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RingReady(Event):
     """The node completed its join and owns a range."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RingNeighbors(Event):
     """Current predecessor and successor list (None predecessor: unknown)."""
 
@@ -127,7 +127,7 @@ class Ring(PortType):
 # ------------------------------------------------------- ring wire messages
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FindSuccessor(NetworkControlMessage):
     """Locate the successor of ``key``; reply goes straight to ``reply_to``."""
 
@@ -137,7 +137,7 @@ class FindSuccessor(NetworkControlMessage):
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FoundSuccessor(NetworkControlMessage):
     key: int = 0
     responsible: Address = None  # type: ignore[assignment]
@@ -147,18 +147,18 @@ class FoundSuccessor(NetworkControlMessage):
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetNeighbors(NetworkControlMessage):
     """Stabilization probe to the successor."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetNeighborsReply(NetworkControlMessage):
     predecessor: Address | None = None
     successors: tuple[Address, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Notify(NetworkControlMessage):
     """Tell the successor we believe we are its predecessor."""
 
@@ -166,7 +166,7 @@ class Notify(NetworkControlMessage):
 # ----------------------------------------------------- quorum wire messages
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupRequest(NetworkControlMessage):
     """Coordinator -> primary: which view serves ``key``?"""
 
@@ -174,7 +174,7 @@ class GroupRequest(NetworkControlMessage):
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupResponse(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
@@ -183,7 +183,7 @@ class GroupResponse(NetworkControlMessage):
     members: tuple[Address, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupBusy(NetworkControlMessage):
     """The primary's view is reconfiguring; retry shortly."""
 
@@ -191,7 +191,7 @@ class GroupBusy(NetworkControlMessage):
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupWrongNode(NetworkControlMessage):
     """This node is not the primary for ``key`` (stale routing)."""
 
@@ -199,7 +199,7 @@ class GroupWrongNode(NetworkControlMessage):
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
@@ -207,7 +207,7 @@ class ReadRequest(NetworkControlMessage):
     view_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResponse(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
@@ -217,7 +217,7 @@ class ReadResponse(NetworkControlMessage):
     value: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
@@ -228,13 +228,13 @@ class WriteRequest(NetworkControlMessage):
     value: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteResponse(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewRejected(NetworkControlMessage):
     """Replica refused an operation: view mismatch or fenced range."""
 
@@ -245,7 +245,7 @@ class ViewRejected(NetworkControlMessage):
 # ------------------------------------------------ view reconfiguration wire
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewPrepare(NetworkControlMessage):
     """Primary -> members: fence the range, report your data."""
 
@@ -255,13 +255,13 @@ class ViewPrepare(NetworkControlMessage):
     members: tuple[Address, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewPrepareAck(NetworkControlMessage):
     view_id: int = 0
     records: tuple = ()  # tuple[Record, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewPrepareReject(NetworkControlMessage):
     """A newer overlapping view outranks this prepare's ballot."""
 
@@ -270,7 +270,7 @@ class ViewPrepareReject(NetworkControlMessage):
     current_primary_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewCommit(NetworkControlMessage):
     """Primary -> members: install the merged state, activate the view."""
 
@@ -281,6 +281,6 @@ class ViewCommit(NetworkControlMessage):
     records: tuple = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewCommitAck(NetworkControlMessage):
     view_id: int = 0

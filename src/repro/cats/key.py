@@ -18,20 +18,25 @@ class KeySpace:
 
     bits: int = 32
 
+    def __post_init__(self) -> None:
+        # Ring arithmetic runs on every routing decision; ``1 << bits`` is
+        # hoisted once instead of recomputed per call.
+        object.__setattr__(self, "_size", 1 << self.bits)
+
     @property
     def size(self) -> int:
-        return 1 << self.bits
+        return self._size
 
     def normalize(self, key: int) -> int:
-        return key % self.size
+        return key % self._size
 
     def hash_key(self, raw: str | bytes | int) -> int:
         """Map an application key onto the ring."""
         if isinstance(raw, int):
-            return self.normalize(raw)
+            return raw % self._size
         data = raw.encode() if isinstance(raw, str) else raw
         digest = hashlib.sha1(data).digest()
-        return int.from_bytes(digest[:8], "big") % self.size
+        return int.from_bytes(digest[:8], "big") % self._size
 
     def in_interval(self, key: int, start: int, end: int) -> bool:
         """True iff ``key`` lies in the wrap-around interval ``(start, end]``.
@@ -39,7 +44,10 @@ class KeySpace:
         With ``start == end`` the interval is the whole ring (a single-node
         system is responsible for everything).
         """
-        key, start, end = self.normalize(key), self.normalize(start), self.normalize(end)
+        size = self._size
+        key %= size
+        start %= size
+        end %= size
         if start == end:
             return True
         if start < end:
@@ -48,4 +56,4 @@ class KeySpace:
 
     def distance(self, start: int, end: int) -> int:
         """Clockwise distance from ``start`` to ``end``."""
-        return (end - start) % self.size
+        return (end - start) % self._size

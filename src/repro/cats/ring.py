@@ -303,18 +303,32 @@ class CatsRing(ComponentDefinition):
         """
         best: Optional[Address] = None
         best_distance = None
+        # key_space.in_interval/distance inlined: this scan runs once per
+        # routing hop over successors + fingers, making it the hottest ring
+        # arithmetic in simulation.
+        size = self.key_space._size
+        address = self.address
+        me = self.node_id % size
+        end = key % size
+        whole_ring = me == end
         for candidate in [*self.successors, *self._fingers.values()]:
-            if candidate == self.address or candidate.node_id is None:
+            node_id = candidate.node_id
+            if candidate == address or node_id is None:
                 continue
             # candidate in the *open* interval (me, key): Chord's rule.  The
             # node with id == key itself is deliberately excluded — routing
             # reaches it through its predecessor's successor pointer, which
             # only exists once it has actually joined.
-            if candidate.node_id == key or not self.key_space.in_interval(
-                candidate.node_id, self.node_id, key
-            ):
+            if node_id == key:
                 continue
-            distance = self.key_space.distance(candidate.node_id, key)
+            if not whole_ring:
+                nid = node_id % size
+                if me < end:
+                    if not me < nid <= end:
+                        continue
+                elif not (nid > me or nid <= end):
+                    continue
+            distance = (key - node_id) % size
             if best_distance is None or distance < best_distance:
                 best, best_distance = candidate, distance
         if best is not None:

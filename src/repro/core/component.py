@@ -22,7 +22,7 @@ from __future__ import annotations
 import logging
 import threading
 from collections import deque
-from typing import TYPE_CHECKING, Optional, TypeVar
+from typing import TYPE_CHECKING, NamedTuple, Optional, TypeVar
 
 from . import channel as channel_mod
 from . import dispatch
@@ -66,28 +66,22 @@ def _noop_handler(_event: Event) -> None:
     """Built-in no-op target for life-cycle events."""
 
 
-class WorkItem:
+class WorkItem(NamedTuple):
     """One delivered event awaiting execution.
 
     ``face`` identifies where the event arrived; handlers are re-matched
     against the face's subscriptions at execution time (Kompics port-queue
     semantics).  Items with ``face=None`` carry pre-bound handlers (used for
     fault escalation, which bypasses ports).
+
+    A named tuple, not a slotted class: one is allocated per delivered
+    event, and ``tuple.__new__`` skips the Python-level ``__init__`` frame.
     """
 
-    __slots__ = ("event", "face", "handlers", "is_control")
-
-    def __init__(
-        self,
-        event: Event,
-        face: Optional[PortFace],
-        handlers: tuple[HandlerFn, ...],
-        is_control: bool,
-    ):
-        self.event = event
-        self.face = face
-        self.handlers = handlers
-        self.is_control = is_control
+    event: Event
+    face: Optional[PortFace]
+    handlers: tuple
+    is_control: bool
 
 
 class ExecutionState:
@@ -96,6 +90,17 @@ class ExecutionState:
     IDLE = 0
     READY = 1
     BUSY = 2
+
+
+# Hot-path locals: the single-threaded execution path compares these on
+# every enqueue/execute; module globals skip two attribute loads each.
+_IDLE = ExecutionState.IDLE
+_READY = ExecutionState.READY
+_BUSY = ExecutionState.BUSY
+_DESTROYED = LifecycleState.DESTROYED
+_FAULTY = LifecycleState.FAULTY
+_PASSIVE = LifecycleState.PASSIVE
+_LIFECYCLE = (Init, Start, Stop)
 
 
 class ComponentDefinition:
@@ -167,6 +172,7 @@ class ComponentDefinition:
         """Subscribe a handler to a port face (own port or a child's)."""
         subscription = make_subscription(handler, face, self._core, event_type)
         face.subscriptions.append(subscription)
+        face._handlers = None
         self._core.note_init_subscription(subscription, face)
         self.system.bump_generation()
 
@@ -175,13 +181,16 @@ class ComponentDefinition:
         for subscription in face.subscriptions:
             if subscription.handler == handler and subscription.owner is self._core:
                 face.subscriptions.remove(subscription)
+                face._handlers = None
                 self.system.bump_generation()
                 return
         raise ConfigurationError(f"{handler!r} is not subscribed at {face!r}")
 
-    def trigger(self, event: Event, face: PortFace) -> None:
-        """Asynchronously send an event through a port face."""
-        dispatch.trigger(event, face)
+    #: Asynchronously send an event through a port face.  A staticmethod
+    #: bound straight to :func:`dispatch.trigger`: ``self`` plays no part,
+    #: and handlers trigger on every delivered event, so the wrapper frame
+    #: is pure overhead.
+    trigger = staticmethod(dispatch.trigger)
 
     def create(
         self,
@@ -304,8 +313,19 @@ class ComponentCore:
         self._queue: deque[WorkItem] = deque()
         self._buffer: deque[WorkItem] = deque()
         self._lock = threading.Lock()
+        # Under a single-threaded scheduler (deterministic simulation) every
+        # state transition happens on the driving thread, so the hot paths
+        # skip the lock entirely (see _enqueue and execute_slot).
+        self._single_threaded = getattr(system, "_single_threaded", False)
         self._needs_init = False
         self._init_received = False
+        # Cached admission verdict for receive_event's fast path: True only
+        # while "single-threaded, initialized, started, healthy" is known to
+        # hold.  Set lazily after one full check passes; cleared at every
+        # transition that can change the answer (stop, fault, destroy, a
+        # late Init subscription).  A stale False is merely slow; the
+        # clearing sites keep True from ever going stale.
+        self._fast_admit = False
         self.component = Component(self)
 
         stack = _construction_stack()
@@ -346,12 +366,43 @@ class ComponentCore:
             and issubclass(subscription.event_type, Init)
         ):
             self._needs_init = True
+            self._fast_admit = False
 
     # --------------------------------------------------------------- delivery
 
     def receive_event(self, event: Event, face: PortFace) -> None:
-        """Enqueue an event delivered at ``face`` (called by dispatch)."""
-        self._enqueue(WorkItem(event, face, (), face.port.is_control))
+        """Enqueue an event delivered at ``face`` (called by dispatch).
+
+        Inlines the single-threaded branch of :meth:`_enqueue` (including
+        ``ComponentSystem.component_ready``) for the started, initialized,
+        healthy component — every delivered simulation event lands here.
+        """
+        item = WorkItem(event, face, (), face.is_control)
+        if not self._fast_admit:
+            if not self._single_threaded:
+                self._enqueue(item)
+                return
+            state = self.state
+            if state is _DESTROYED:
+                return
+            if (
+                (not self._init_received and self._needs_init)
+                or state is _PASSIVE
+                or state is _FAULTY
+            ):
+                self._enqueue(item)
+                return
+            self._fast_admit = True
+        self._queue.append(item)
+        if self._exec_state == _IDLE:
+            self._exec_state = _READY
+            # component_ready, inlined (single-threaded branch).
+            system = self.system
+            if system._single_threaded:
+                system._active += 1
+                system.scheduler.schedule(self)
+            else:
+                system.component_ready(self)
 
     def receive_work(
         self, event: Event, handlers: tuple[HandlerFn, ...], is_control: bool
@@ -360,6 +411,30 @@ class ComponentCore:
         self._enqueue(WorkItem(event, None, handlers, is_control))
 
     def _enqueue(self, item: WorkItem) -> None:
+        if self._single_threaded:
+            state = self.state
+            if state is _DESTROYED:
+                return
+            # Inlined _admissible fast path: a started, initialized, healthy
+            # component admits everything (the overwhelmingly common case).
+            if (
+                (self._init_received or not self._needs_init)
+                and state is not _PASSIVE
+                and state is not _FAULTY
+            ):
+                self._queue.append(item)
+                if self._exec_state == _IDLE:
+                    self._exec_state = _READY
+                    self.system.component_ready(self)
+                return
+            if not self._admissible(item):
+                self._buffer.append(item)
+                return
+            self._queue.append(item)
+            if self._exec_state == _IDLE:
+                self._exec_state = _READY
+                self.system.component_ready(self)
+            return
         must_schedule = False
         with self._lock:
             if self.state is LifecycleState.DESTROYED:
@@ -378,9 +453,10 @@ class ComponentCore:
         """May this work item enter the executable queue right now?"""
         if self._needs_init and not self._init_received:
             return isinstance(item.event, Init)
-        if self.state is LifecycleState.PASSIVE:
+        state = self.state
+        if state is _PASSIVE:
             return item.is_control
-        if self.state is LifecycleState.FAULTY:
+        if state is _FAULTY:
             return False
         return True
 
@@ -429,6 +505,37 @@ class ComponentCore:
             self.system.component_idle(self)
         return still_ready
 
+    def execute_slot(self) -> bool:
+        """Single-threaded :meth:`execute` with ``max_events=1``.
+
+        Same state transitions and return contract, but without the three
+        lock round-trips — only the ManualScheduler's drain calls this, and
+        there every transition happens on the driving thread.  The BUSY
+        guard still matters: handlers triggering on their own component must
+        see a non-IDLE state so _enqueue does not double-schedule.
+        """
+        if self._exec_state != _READY:
+            return False
+        self._exec_state = _BUSY
+        queue = self._queue
+        state = self.state
+        if queue and state is not _DESTROYED and state is not _FAULTY:
+            item = queue.popleft()
+            if self.system.tracer is not None or _race_observer is not None:
+                self._execute_item(item)  # instrumented path (trace/race)
+            else:
+                if isinstance(item.event, _LIFECYCLE):
+                    self._dispatch_item(item)
+                else:
+                    self._run_handlers(item)
+            state = self.state  # the handler may have faulted or destroyed us
+        if queue and state is not _DESTROYED and state is not _FAULTY:
+            self._exec_state = _READY
+            return True
+        self._exec_state = _IDLE
+        self.system.component_idle(self)
+        return False
+
     def _execute_item(self, item: WorkItem) -> None:
         event = item.event
         tracer = self.system.tracer
@@ -458,29 +565,43 @@ class ComponentCore:
             self._run_handlers(item)
 
     def _match_handlers(self, item: WorkItem) -> tuple[HandlerFn, ...]:
-        if item.face is None:
+        face = item.face
+        if face is None:
             return item.handlers
         event_type = type(item.event)
-        subscriptions = item.face.subscriptions
-        if len(subscriptions) == 1:
-            # Allocation-light fast path mirroring dispatch.deliver: most
-            # faces carry exactly one subscription.
-            s = subscriptions[0]
-            if s.owner is self and issubclass(event_type, s.event_type):
-                return (s.handler,)
-            return ()
-        return tuple(
-            s.handler
-            for s in tuple(subscriptions)
-            if s.owner is self and issubclass(event_type, s.event_type)
-        )
+        # Matching is pure in (face subscriptions, owner, event type); the
+        # per-face cache is reset whenever subscriptions mutate, so repeat
+        # deliveries skip the subscription scan entirely.
+        cache = face._handlers
+        if cache is None:
+            cache = {}
+            face._handlers = cache
+        key = (self, event_type)
+        handlers = cache.get(key)
+        if handlers is None:
+            handlers = tuple(
+                s.handler
+                for s in tuple(face.subscriptions)
+                if s.owner is self and issubclass(event_type, s.event_type)
+            )
+            cache[key] = handlers
+        return handlers
 
     def _run_handlers(self, item: WorkItem) -> None:
         monitor = _sanitizer_monitor
         if monitor is not None:
             monitor.enter(self)  # raises ReentrancyError on violation
         try:
-            for handler in self._match_handlers(item):
+            # _match_handlers cache hit, inlined (one call frame per
+            # executed event); misses fall through to the matching path.
+            face = item.face
+            if face is not None and (cache := face._handlers) is not None:
+                handlers = cache.get((self, type(item.event)))
+                if handlers is None:
+                    handlers = self._match_handlers(item)
+            else:
+                handlers = self._match_handlers(item)
+            for handler in handlers:
                 try:
                     handler(item.event)
                 except SanitizerError:
@@ -496,6 +617,7 @@ class ComponentCore:
         """Wrap an uncaught handler exception per paper section 2.5."""
         with self._lock:
             self.state = LifecycleState.FAULTY
+            self._fast_admit = False
         escalate(Fault(exc, self, event))
 
     def _handle_init(self, item: WorkItem) -> None:
@@ -521,6 +643,7 @@ class ComponentCore:
         self._run_handlers(item)
         with self._lock:
             self.state = LifecycleState.PASSIVE
+            self._fast_admit = False
         for child in tuple(self.children):
             dispatch.trigger(Stop(), child.control_port.outside)
 
@@ -559,6 +682,7 @@ class ComponentCore:
             if self.state is LifecycleState.DESTROYED:
                 return
             self.state = LifecycleState.DESTROYED
+            self._fast_admit = False
             self._queue.clear()
             self._buffer.clear()
         for child in tuple(self.children):

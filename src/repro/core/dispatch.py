@@ -72,21 +72,46 @@ def trigger(event: Event, face: "PortFace") -> None:
     stamp = _race_stamp
     if stamp is not None:
         stamp(event)
+    # Fast path: a ``face._fast`` hit means this exact event class already
+    # passed the port-type check for this face's trigger direction and has
+    # a compiled plan for the current topology generation — one class-keyed
+    # dict probe replaces the allowed() lookup and the plan-table lookup.
+    # The verdict of allowed() is static per (port type, direction, class),
+    # so skipping it on a hit cannot change which triggers raise.
+    fast = face._fast
+    if fast is not None:
+        plan = fast[1].get(event.__class__)
+        if plan is not None:
+            system = face.port.owner.system
+            if system is not None and fast[0] == system._generation:
+                plan.execute(event)
+                return
+    _trigger_slow(event, face)
+
+
+def _trigger_slow(event: Event, face: "PortFace") -> None:
+    """Checked trigger path: validate the type, compile/cache, dispatch."""
     port = face.port
-    if face.is_inside:
-        # The owner emits; events travel in the owner's outgoing direction.
-        direction = face.incoming.opposite
-    else:
-        # A parent pushes into the component (e.g. Start on a child's
-        # control port); events travel inward across the boundary.
-        direction = port.boundary_inward
+    # The owner emits on the inside face; a parent pushes inward across the
+    # boundary on the outside face — precomputed per face at creation.
+    direction = face.trigger_direction
     if not port.port_type.allowed(direction, type(event)):
         raise PortTypeError(
             f"{type(event).__name__} may not be triggered in the "
             f"{direction.value} direction of {port.port_type.__name__} "
             f"(at {face!r})"
         )
-    route(face, event, direction)
+    system = port.owner.system
+    if system is not None and system.compiled_dispatch:
+        plan = routing.plan_for(face, type(event), direction)
+        fast = face._fast
+        if fast is None or fast[0] != plan.generation:
+            fast = (plan.generation, {})
+            face._fast = fast
+        fast[1][type(event)] = plan
+        plan.execute(event)
+    else:
+        arrive(face, event, direction)
 
 
 def route(face: "PortFace", event: Event, direction: Direction) -> None:

@@ -84,6 +84,11 @@ class Direction(enum.Enum):
     POSITIVE = "+"
     NEGATIVE = "-"
 
+    # Directions key the per-face plan and admission caches on every routed
+    # event; the default Enum hash goes through a Python-level method, the
+    # identity hash is C-level (members are singletons, so it is equivalent).
+    __hash__ = object.__hash__
+
     @property
     def opposite(self) -> "Direction":
         return Direction.NEGATIVE if self is Direction.POSITIVE else Direction.POSITIVE

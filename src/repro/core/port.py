@@ -96,8 +96,22 @@ class PortType:
     @classmethod
     def allowed(cls, direction: Direction, event_type: type[Event]) -> bool:
         """Return True if ``event_type`` may traverse in ``direction``."""
-        declared = cls.positive if direction is Direction.POSITIVE else cls.negative
-        return any(issubclass(event_type, allowed) for allowed in declared)
+        # Memoized per concrete port type: ``positive``/``negative`` are
+        # frozen at class-creation time and the event-type population is
+        # finite, so the answer never changes.  ``__dict__`` lookup keeps
+        # each subclass's cache separate (a plain attribute would be
+        # inherited and poison siblings).
+        cache = cls.__dict__.get("_allowed_cache")
+        if cache is None:
+            cache = {}
+            cls._allowed_cache = cache
+        key = (direction, event_type)
+        verdict = cache.get(key)
+        if verdict is None:
+            declared = cls.positive if direction is Direction.POSITIVE else cls.negative
+            verdict = any(issubclass(event_type, allowed) for allowed in declared)
+            cache[key] = verdict
+        return verdict
 
     @classmethod
     def direction_of(
@@ -118,16 +132,58 @@ class PortType:
 class PortFace:
     """One face of a port instance: a subscription and channel attachment point."""
 
-    __slots__ = ("port", "is_inside", "subscriptions", "channels", "_plans")
+    __slots__ = (
+        "port",
+        "is_inside",
+        "is_control",
+        "subscriptions",
+        "channels",
+        "_plans",
+        "_fast",
+        "_handlers",
+        "incoming",
+        "trigger_direction",
+    )
 
     def __init__(self, port: "Port", is_inside: bool) -> None:
         self.port = port
         self.is_inside = is_inside
+        self.is_control = port.is_control
         self.subscriptions: list["Subscription"] = []
         self.channels: list["Channel"] = []
         #: Compiled-dispatch cache: ``(generation, {(event_type, direction):
         #: DeliveryPlan})`` or None; managed by :mod:`repro.core.routing`.
         self._plans: tuple[int, dict] | None = None
+        #: Trigger fast-path cache: ``(generation, {event_class:
+        #: DeliveryPlan})`` or None.  Populated by :func:`dispatch.trigger`
+        #: after the port-type check passes, so a hit implies both "allowed"
+        #: and "plan compiled" for the face's trigger direction.
+        self._fast: tuple[int, dict] | None = None
+        #: Direction of events delivered to subscriptions at this face —
+        #: fixed by the face geometry, precomputed for the dispatch hot path:
+        #:
+        #: - provided/inside: NEGATIVE (requests entering the provider)
+        #: - required/inside: POSITIVE (indications entering the requirer)
+        #: - provided/outside: POSITIVE (indications leaving, seen by parent)
+        #: - required/outside: NEGATIVE (requests leaving, seen by parent)
+        if is_inside:
+            self.incoming = (
+                Direction.NEGATIVE if port.is_provided else Direction.POSITIVE
+            )
+        else:
+            self.incoming = (
+                Direction.POSITIVE if port.is_provided else Direction.NEGATIVE
+            )
+        #: Direction an event triggered *at this face* travels: the owner
+        #: emits outgoing events on the inside face; a parent pushes inward
+        #: across the boundary on the outside face.
+        self.trigger_direction = (
+            self.incoming.opposite if is_inside else port.boundary_inward
+        )
+        #: Handler-match cache: ``{(core, event_type): (handler, ...)}`` or
+        #: None; reset whenever ``subscriptions`` mutates (see
+        #: ComponentCore.subscribe/unsubscribe).
+        self._handlers: dict | None = None
 
     @property
     def owner(self) -> "ComponentCore":
@@ -136,19 +192,6 @@ class PortFace:
     @property
     def port_type(self) -> type[PortType]:
         return self.port.port_type
-
-    @property
-    def incoming(self) -> Direction:
-        """Direction of events delivered to subscriptions at this face.
-
-        - provided/inside: NEGATIVE (requests entering the provider)
-        - required/inside: POSITIVE (indications entering the requirer)
-        - provided/outside: POSITIVE (indications leaving, seen by parent)
-        - required/outside: NEGATIVE (requests leaving, seen by parent)
-        """
-        if self.is_inside:
-            return Direction.NEGATIVE if self.port.is_provided else Direction.POSITIVE
-        return Direction.POSITIVE if self.port.is_provided else Direction.NEGATIVE
 
     @property
     def emits(self) -> Direction:

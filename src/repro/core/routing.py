@@ -87,14 +87,18 @@ class DeliveryPlan:
         if any(tag == LIVE for tag, _, _ in steps):
             self.deliveries: tuple | None = None
         else:
-            self.deliveries = tuple((owner, face) for _, owner, face in steps)
+            # Prebound receive methods: one attribute lookup less per
+            # delivered event on the tag-free loop.
+            self.deliveries = tuple(
+                (owner.receive_event, face) for _, owner, face in steps
+            )
 
     def execute(self, event: Event) -> None:
         """Run the plan for one event."""
         deliveries = self.deliveries
         if deliveries is not None:
-            for owner, face in deliveries:
-                owner.receive_event(event, face)
+            for receive, face in deliveries:
+                receive(event, face)
             return
         direction = self.direction
         for tag, a, b in self.steps:
@@ -215,7 +219,20 @@ def plan_for(face: "PortFace", event_type: type[Event], direction: Direction) ->
 
 
 def execute(face: "PortFace", event: Event, direction: Direction) -> None:
-    """Route one event from ``face`` through its compiled plan."""
+    """Route one event from ``face`` through its compiled plan.
+
+    Inlines :func:`plan_for`'s cache hit (one call frame fewer on every
+    routed event); misses fall through to the shared compile path.
+    """
+    cache = face._plans
+    if cache is not None:
+        plan = cache[1].get((type(event), direction))
+        if plan is not None:
+            system = face.port.owner.system
+            generation = system.generation if system is not None else 0
+            if cache[0] == generation:
+                plan.execute(event)
+                return
     plan_for(face, type(event), direction).execute(event)
 
 

@@ -19,6 +19,39 @@ class Address:
     port: int
     node_id: Optional[int] = None
 
+    def __eq__(self, other: object) -> bool:
+        # Same exact-class semantics as the dataclass-generated __eq__, but
+        # with an identity fast path and no field-tuple allocation — address
+        # equality guards most protocol handlers.
+        if self is other:
+            return True
+        if other.__class__ is self.__class__:
+            return (
+                self.port == other.port
+                and self.node_id == other.node_id
+                and self.host == other.host
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Addresses key nearly every hot dict/set in the emulator and the
+        # overlay protocols; cache the tuple hash on first use (frozen
+        # fields make it immutable for the object's lifetime).
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.host, self.port, self.node_id))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self) -> dict:
+        # Never serialize the cached hash: str hashes are randomized per
+        # process, so a pickled hash is wrong on the receiving node and
+        # would break every dict/set lookup there.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def __str__(self) -> str:
         if self.node_id is None:
             return f"{self.host}:{self.port}"

@@ -15,7 +15,7 @@ from ..core.port import PortType
 from .address import Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message(Event):
     """Base class of all network messages."""
 
@@ -33,6 +33,6 @@ class Network(PortType):
     negative = (Message,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkControlMessage(Message):
     """Base for implementation-level control traffic (not application data)."""

@@ -27,17 +27,17 @@ from .port import FailureDetector, MonitorNode, Restore, StopMonitoringNode, Sus
 _nonces = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FdPing(NetworkControlMessage):
     nonce: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FdPong(NetworkControlMessage):
     nonce: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FdCheck(Timeout):
     """Internal round timeout."""
 

@@ -16,28 +16,28 @@ from ...core.port import PortType
 from ...network.address import Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MonitorNode(Event):
     """Start monitoring ``node``."""
 
     node: Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StopMonitoringNode(Event):
     """Stop monitoring ``node`` (idempotent)."""
 
     node: Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Suspect(Event):
     """``node`` is suspected to have crashed."""
 
     node: Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Restore(Event):
     """A previously suspected ``node`` turned out to be alive."""
 

@@ -10,6 +10,7 @@ uniform random sample of alive nodes, which the one-hop router consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 
 from ...core.component import ComponentDefinition
 from ...core.handler import handles
@@ -21,18 +22,20 @@ from .port import IntroducePeers, NodeSampling, Sample, SampleRequest
 
 Entry = tuple[Address, int]  # (node, age)
 
+_AGE = itemgetter(1)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class ShuffleRequest(NetworkControlMessage):
     entries: tuple[Entry, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShuffleResponse(NetworkControlMessage):
     entries: tuple[Entry, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShuffleTick(Timeout):
     """Internal shuffle period."""
 
@@ -98,7 +101,9 @@ class CyclonOverlay(ComponentDefinition):
             return
         for node in self._view:
             self._view[node] += 1
-        target = max(self._view, key=lambda node: self._view[node])
+        # max over items with an age getter: same first-maximal element as
+        # keying over the dict, without a hash lookup per candidate.
+        target = max(self._view.items(), key=_AGE)[0]
         subset = self._select_subset(exclude=target)
         subset.append((self.address, 0))
         self.shuffles += 1
@@ -144,9 +149,9 @@ class CyclonOverlay(ComponentDefinition):
         self._shrink()
 
     def _shrink(self) -> None:
-        while len(self._view) > self.view_size:
-            oldest = max(self._view, key=lambda node: self._view[node])
-            del self._view[oldest]
+        view = self._view
+        while len(view) > self.view_size:
+            del view[max(view.items(), key=_AGE)[0]]
 
     def _publish(self) -> None:
         self.trigger(Sample(nodes=tuple(self._view)), self.sampling)

@@ -14,19 +14,19 @@ from ...core.port import PortType
 from ...network.address import Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SampleRequest(Event):
     """Ask for the current sample of alive peers."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sample(Event):
     """A random sample of alive peers (also pushed after every shuffle)."""
 
     nodes: tuple[Address, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntroducePeers(Event):
     """Seed the overlay with initial contacts (e.g. from bootstrap)."""
 

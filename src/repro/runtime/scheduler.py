@@ -90,3 +90,24 @@ class ManualScheduler(Scheduler):
             self.step()
             slots += 1
         return slots
+
+    def drain(self) -> int:
+        """Quiescence fast path: FIFO, throughput 1, no picker, inlined.
+
+        Executes exactly the slots :meth:`run_to_quiescence` would (it
+        falls back to it when a picker or a non-default throughput is
+        installed), but through the lock-light single-threaded
+        :meth:`~repro.core.component.ComponentCore.execute_slot` — the
+        simulation loop calls this once per timed dispatch, so the slot
+        machinery is the hottest code in the simulator.
+        """
+        if self.picker is not None or self.throughput != 1:
+            return self.run_to_quiescence()
+        ready = self._ready
+        slots = 0
+        while ready:
+            component = ready.popleft()
+            if component.execute_slot():
+                ready.append(component)
+            slots += 1
+        return slots

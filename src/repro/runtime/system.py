@@ -78,6 +78,10 @@ class ComponentSystem:
         self._generation_counter = itertools.count(1)
         self._active = 0
         self._quiet = threading.Condition()
+        #: With the ManualScheduler every ready/idle transition happens on
+        #: the single driving thread, so the scheduler bridge skips the
+        #: condition lock (await_quiescence never waits in manual mode).
+        self._single_threaded = isinstance(self.scheduler, ManualScheduler)
 
     # -------------------------------------------------------------- bootstrap
 
@@ -129,11 +133,18 @@ class ComponentSystem:
     # ------------------------------------------------------- scheduler bridge
 
     def component_ready(self, component: ComponentCore) -> None:
+        if self._single_threaded:
+            self._active += 1
+            self.scheduler.schedule(component)
+            return
         with self._quiet:
             self._active += 1
         self.scheduler.schedule(component)
 
     def component_idle(self, component: ComponentCore) -> None:
+        if self._single_threaded:
+            self._active -= 1
+            return
         with self._quiet:
             self._active -= 1
             if self._active <= 0:

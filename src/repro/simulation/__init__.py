@@ -24,7 +24,8 @@ from .distributions import (
     uniform_int,
 )
 from .emulator import EmulatedNetwork, EmulatorCore, emulator_of
-from .event_queue import EventQueue, ScheduledEntry
+from .event_queue import EventQueue, HeapEventQueue, ScheduledEntry, make_event_queue
+from .wheel import TimerWheel
 from .latency import (
     ConstantLatency,
     LatencyModel,
@@ -43,6 +44,7 @@ __all__ = [
     "EmulatorCore",
     "EventQueue",
     "Exponential",
+    "HeapEventQueue",
     "KeyUniform",
     "LatencyModel",
     "Normal",
@@ -54,6 +56,7 @@ __all__ = [
     "SimTimer",
     "Simulation",
     "StochasticProcess",
+    "TimerWheel",
     "Uniform",
     "UniformInt",
     "UniformLatency",
@@ -61,6 +64,7 @@ __all__ = [
     "emulator_of",
     "exponential",
     "key_uniform",
+    "make_event_queue",
     "normal",
     "queue_of",
     "uniform",

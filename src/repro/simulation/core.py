@@ -10,6 +10,18 @@ The simulation loop alternates two phases, exactly like the paper's
 simulation scheduler: execute ready components until quiescence, then
 advance virtual time to the next queued event and dispatch it.  Given the
 same seed and the same component code, every run is identical.
+
+Two run-loop engines share that contract (see ``docs/internals.md``,
+"Simulation hot path"):
+
+- the default *batched* loop pops every entry due at the next timestamp in
+  one queue operation and dispatches them back-to-back — draining the
+  scheduler after each entry, so the executed trace is identical to the
+  entry-at-a-time loop;
+- the *legacy* loop (one pop per dispatch) runs whenever exactness of pop
+  granularity matters: the ``REPRO_SIM_QUEUE=heap`` oracle engine, an
+  installed ``picker`` (schedule exploration), or a ``max_dispatches``
+  budget.
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ from ..core.errors import SimulationError
 from ..runtime.clock import VirtualClock
 from ..runtime.scheduler import ManualScheduler
 from ..runtime.system import ComponentSystem
-from .event_queue import EventQueue
+from .event_queue import HeapEventQueue, make_event_queue
 
 QUEUE_SERVICE = "simulation_event_queue"
 
@@ -43,10 +55,14 @@ class Simulation:
         prune_channels: bool = True,
         compiled_dispatch: Optional[bool] = None,
         name: str = "simulation",
+        queue_engine: Optional[str] = None,
     ) -> None:
         self.clock = VirtualClock()
         self.scheduler = ManualScheduler()
-        self.queue = EventQueue()
+        #: ``"wheel"`` (default) or ``"heap"`` (the reference oracle);
+        #: None reads ``REPRO_SIM_QUEUE``.
+        self.queue = make_event_queue(queue_engine)
+        self.queue_engine = "heap" if isinstance(self.queue, HeapEventQueue) else "wheel"
         # The deterministic runtime dispatches through the same compiled
         # plans as the production system: plan compilation depends only on
         # the topology, never on time or scheduling, so simulated traces
@@ -61,8 +77,20 @@ class Simulation:
             name=name,
         )
         self.system.register_service(QUEUE_SERVICE, self.queue)
+        if self.queue_engine == "heap":
+            # The oracle engine is the pre-wheel simulator end to end: the
+            # entry-at-a-time loop *and* the generic locked execution paths
+            # (run_to_quiescence/execute, condition-locked ready/idle).
+            # Differential tests then pin the whole new engine, and the
+            # benchmark ratio measures the whole overhaul.  Must be set
+            # before bootstrap: component cores cache the flag.
+            self.system._single_threaded = False
         self._stop_requested = False
         self.events_dispatched = 0
+        # Same-timestamp entries not yet dispatched when stop() interrupted
+        # a batch; the next run() resumes them before touching the queue.
+        self._pending_batch: Optional[list] = None
+        self._pending_index = 0
 
     # ------------------------------------------------------------- scheduling
 
@@ -94,6 +122,80 @@ class Simulation:
         ``"budget"``     — ``max_dispatches`` timed events were dispatched.
         """
         self._stop_requested = False
+        if (
+            self.queue_engine != "wheel"
+            or self.queue.picker is not None
+            or max_dispatches is not None
+        ):
+            return self._run_legacy(until, max_dispatches)
+        return self._run_batched(until)
+
+    def _run_batched(self, until: Optional[float]) -> str:
+        """Batched timed dispatch: one queue pop per timestamp.
+
+        Equivalent to the legacy loop entry-for-entry — each batch entry is
+        re-checked for cancellation, dispatched through the race hook when
+        installed, and followed by a full scheduler drain — so executed
+        traces (and ``Tracer.fingerprint()``) are byte-identical.
+        """
+        queue = self.queue
+        clock = self.clock
+        drain = self.scheduler.drain
+        drain()
+        if self._stop_requested:
+            return "stopped"
+        batch = self._pending_batch or ()
+        index = self._pending_index
+        self._pending_batch = None
+        dispatched = self.events_dispatched
+        fired = 0
+        try:
+            while True:
+                size = len(batch)
+                while index < size:
+                    entry = batch[index]
+                    index += 1
+                    if entry.cancelled:
+                        continue
+                    dispatched += 1
+                    fired += 1
+                    hook = _race_dispatch_entry
+                    if hook is None:
+                        entry.action()
+                    else:
+                        hook(entry)
+                    drain()
+                    if self._stop_requested:
+                        if index < size:
+                            self._pending_batch = list(batch)
+                            self._pending_index = index
+                        return "stopped"
+                popped = queue.pop_batch(until)
+                if popped is None:
+                    return "quiescent"
+                time, batch = popped
+                if batch is None:
+                    clock.advance_to(until)
+                    return "horizon"
+                index = 0
+                clock.advance_to(time)
+        finally:
+            self.events_dispatched = dispatched
+            queue.fired_total += fired
+
+    def _run_legacy(
+        self, until: Optional[float], max_dispatches: Optional[int]
+    ) -> str:
+        """The original entry-at-a-time loop (oracle / picker / budget)."""
+        pending = self._pending_batch
+        if pending is not None:
+            # A batch interrupted by stop() under the batched loop (only the
+            # wheel engine batches): re-queue the undispatched tail at its
+            # original (time, sequence) so nothing is lost or reordered.
+            self._pending_batch = None
+            for entry in pending[self._pending_index:]:
+                if not entry.cancelled:
+                    self.queue._append(entry)
         while True:
             self.scheduler.run_to_quiescence()
             if self._stop_requested:
@@ -116,6 +218,23 @@ class Simulation:
             else:
                 hook(entry)
 
+    # -------------------------------------------------------------- profiling
+
+    def profile(self):
+        """Start collecting a hot-path profile; returns the profiler.
+
+        Usage::
+
+            with sim.profile() as prof:
+                sim.run(until=...)
+            print(prof.report(top=10))
+
+        See :class:`repro.simulation.profile.SimulationProfiler`.
+        """
+        from .profile import SimulationProfiler
+
+        return SimulationProfiler(self)
+
     # ------------------------------------------------------------ convenience
 
     def bootstrap(self, definition, *args, **kwargs):
@@ -125,7 +244,7 @@ class Simulation:
         self.system.shutdown()
 
 
-def queue_of(system: ComponentSystem) -> EventQueue:
+def queue_of(system: ComponentSystem):
     """The simulation event queue of ``system`` (simulation mode only)."""
     queue = system.services.get(QUEUE_SERVICE)
     if queue is None:

@@ -6,6 +6,19 @@ equal timestamps fire in insertion order, which (together with the FIFO
 component scheduler and the seeded RNG) makes whole-system simulation fully
 deterministic and reproducible.
 
+Two engines implement the same contract:
+
+- :class:`EventQueue` (the default): same-timestamp entries share one FIFO
+  *bucket*, buckets are indexed by a hierarchical
+  :class:`~repro.simulation.wheel.TimerWheel`, cancellation unlinks in
+  O(1), ``__len__``/``__bool__`` read a live-entry counter, and
+  ``pop_batch`` hands the whole earliest bucket to the run loop in one
+  operation;
+- :class:`HeapEventQueue`: the original binary-heap implementation, kept
+  verbatim as the determinism oracle (``REPRO_SIM_QUEUE=heap``) — the
+  differential tests assert byte-identical ``Tracer.fingerprint()`` between
+  the two.
+
 Two opt-in hooks support the concurrency analysis in
 :mod:`repro.analysis.race` (both None/unset by default, costing one
 is-None test):
@@ -23,7 +36,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Callable, Optional, Sequence
+
+from .wheel import TimerWheel
 
 #: Entry-stamping hook, installed by :mod:`repro.analysis.race` while race
 #: tracking is active and None otherwise.  Called as ``hook(entry)`` right
@@ -34,7 +50,7 @@ _race_stamp_entry = None
 class ScheduledEntry:
     """One future action in virtual time."""
 
-    __slots__ = ("time", "sequence", "action", "cancelled", "stamp")
+    __slots__ = ("time", "sequence", "action", "cancelled", "stamp", "bucket")
 
     def __init__(self, time: float, sequence: int, action: Callable[[], None]) -> None:
         self.time = time
@@ -44,26 +60,234 @@ class ScheduledEntry:
         #: vector-clock stamp of the scheduling execution (race analysis
         #: only; None on the default path).
         self.stamp = None
+        #: owning same-timestamp bucket while queued in an
+        #: :class:`EventQueue`; None once popped, or under the heap engine.
+        self.bucket = None
 
     def __lt__(self, other: "ScheduledEntry") -> bool:
         return (self.time, self.sequence) < (other.time, other.sequence)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        bucket = self.bucket
+        if bucket is not None:
+            bucket.queue._entry_cancelled(bucket)
+
+
+class _TimeBucket:
+    """All entries scheduled at one exact timestamp, in insertion order.
+
+    ``head`` is the index of the first un-popped entry (single pops consume
+    from the front without shifting the list); ``live`` counts entries that
+    are neither popped nor cancelled.  ``loc`` is written by the wheel.
+    """
+
+    __slots__ = ("time", "entries", "head", "live", "queue", "loc")
+
+    def __init__(self, time: float, queue: "EventQueue") -> None:
+        self.time = time
+        self.entries: list[ScheduledEntry] = []
+        self.head = 0
+        self.live = 0
+        self.queue = queue
+        self.loc = 0
 
 
 class EventQueue:
-    """A deterministic min-heap of timed actions."""
+    """Deterministic timed-action queue: wheel-indexed FIFO time buckets."""
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEntry] = []
+        self._wheel = TimerWheel()
+        self._buckets: dict[float, _TimeBucket] = {}
         self._sequence = itertools.count()
+        self._live = 0
         self.scheduled_total = 0
         self.fired_total = 0
         #: Optional same-timestamp chooser (schedule exploration): called
         #: with the list of non-cancelled entries sharing the earliest
         #: timestamp, returns the index of the entry to fire.  None (the
         #: default) keeps strict insertion order.
+        self.picker: Optional[Callable[[Sequence[ScheduledEntry]], int]] = None
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, at: float, action: Callable[[], None]) -> ScheduledEntry:
+        """Schedule ``action`` at absolute virtual time ``at``."""
+        entry = ScheduledEntry(at, next(self._sequence), action)
+        stamp = _race_stamp_entry
+        if stamp is not None:
+            stamp(entry)
+        # _append, inlined: this is the busiest write path in simulation.
+        bucket = self._buckets.get(at)
+        if bucket is None:
+            bucket = _TimeBucket(at, self)
+            self._buckets[at] = bucket
+            self._wheel.insert(at, bucket)
+        bucket.entries.append(entry)
+        bucket.live += 1
+        entry.bucket = bucket
+        self._live += 1
+        self.scheduled_total += 1
+        return entry
+
+    def reschedule(self, entry: ScheduledEntry, at: float) -> ScheduledEntry:
+        """Re-arm a fired entry at a new time, reusing the object.
+
+        Allocation-free re-arm for periodic timers: the entry gets a fresh
+        sequence number (insertion order among equal timestamps is global)
+        and is stamped again, exactly as a newly scheduled entry would be —
+        each period is a distinct schedule→fire happens-before edge.
+        """
+        if entry.bucket is not None:
+            raise ValueError("cannot reschedule an entry that is still queued")
+        entry.time = at
+        entry.sequence = next(self._sequence)
+        entry.cancelled = False
+        entry.stamp = None
+        stamp = _race_stamp_entry
+        if stamp is not None:
+            stamp(entry)
+        self._append(entry)
+        return entry
+
+    def _append(self, entry: ScheduledEntry) -> None:
+        at = entry.time
+        bucket = self._buckets.get(at)
+        if bucket is None:
+            bucket = _TimeBucket(at, self)
+            self._buckets[at] = bucket
+            self._wheel.insert(at, bucket)
+        bucket.entries.append(entry)
+        bucket.live += 1
+        entry.bucket = bucket
+        self._live += 1
+        self.scheduled_total += 1
+
+    # ----------------------------------------------------------- cancellation
+
+    def _entry_cancelled(self, bucket: _TimeBucket) -> None:
+        bucket.live -= 1
+        self._live -= 1
+        if bucket.live == 0:
+            # Last live entry gone: unlink the whole bucket now.  Cancelled
+            # debris (and the component state its actions close over) is
+            # released immediately instead of surviving to its deadline.
+            del self._buckets[bucket.time]
+            self._wheel.remove(bucket.time, bucket)
+            for entry in bucket.entries:
+                entry.bucket = None
+            bucket.entries = []
+        elif bucket.live * 2 < len(bucket.entries) - bucket.head:
+            # Compact once tombstones outnumber live entries in the bucket.
+            survivors = []
+            for entry in bucket.entries[bucket.head:]:
+                if entry.cancelled:
+                    entry.bucket = None
+                else:
+                    survivors.append(entry)
+            bucket.entries = survivors
+            bucket.head = 0
+
+    # ---------------------------------------------------------------- popping
+
+    def pop_batch(self, until: Optional[float] = None):
+        """Pop every live entry at the earliest timestamp, in FIFO order.
+
+        Returns ``(time, entries)``, or None if the queue is empty, or
+        ``(time, None)`` — *without popping* — when ``until`` is given and
+        the earliest timestamp lies beyond it.  The entries are detached: a
+        cancellation between pop and dispatch only flips ``entry.cancelled``
+        (the run loop re-checks it per entry, preserving the heap engine's
+        pop-time semantics).
+        """
+        popped = self._wheel.pop(until)
+        if popped is None:
+            return None
+        time, bucket = popped
+        if bucket is None:
+            return time, None
+        del self._buckets[time]
+        entries = bucket.entries
+        head = bucket.head
+        if bucket.live == len(entries) - head:
+            batch = entries[head:] if head else entries
+        else:
+            batch = [e for e in entries[head:] if not e.cancelled]
+        self._live -= bucket.live
+        for entry in entries:
+            entry.bucket = None
+        bucket.entries = []
+        return time, batch
+
+    def pop_due(self) -> Optional[ScheduledEntry]:
+        """Pop the earliest non-cancelled entry, or None if empty.
+
+        With a ``picker`` installed, all non-cancelled entries at the
+        earliest timestamp are candidates and the picker selects which one
+        fires; the rest stay queued unchanged.
+        """
+        time = self._wheel.peek()
+        if time is None:
+            return None
+        bucket = self._buckets[time]
+        entries = bucket.entries
+        if self.picker is None:
+            index = bucket.head
+            while entries[index].cancelled:  # live >= 1 by bucket invariant
+                index += 1
+            entry = entries[index]
+            bucket.head = index + 1
+        else:
+            due = [e for e in entries[bucket.head:] if not e.cancelled]
+            entry = due[self.picker(due) if len(due) > 1 else 0]
+            entries.remove(entry)
+        bucket.live -= 1
+        self._live -= 1
+        entry.bucket = None
+        if bucket.live == 0:
+            del self._buckets[time]
+            self._wheel.remove(time, bucket)
+            for leftover in bucket.entries:
+                leftover.bucket = None
+            bucket.entries = []
+        self.fired_total += 1
+        return entry
+
+    # ------------------------------------------------------------- inspection
+
+    def peek_time(self) -> Optional[float]:
+        return self._wheel.peek()
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def stats(self) -> dict:
+        """Internal sizes, for tests pinning boundedness under churn."""
+        stats = self._wheel.stats()
+        stats["live"] = self._live
+        stats["buckets"] = len(self._buckets)
+        return stats
+
+
+class HeapEventQueue:
+    """The original deterministic min-heap of timed actions.
+
+    Kept verbatim as the reference oracle for the wheel engine
+    (``REPRO_SIM_QUEUE=heap``): cancelled entries tombstone until their
+    deadline, ``__len__`` scans, and pops pay Python-level comparisons.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEntry] = []
+        self._sequence = itertools.count()
+        self.scheduled_total = 0
+        self.fired_total = 0
+        #: Same-timestamp chooser; see :attr:`EventQueue.picker`.
         self.picker: Optional[Callable[[Sequence[ScheduledEntry]], int]] = None
 
     def schedule(self, at: float, action: Callable[[], None]) -> ScheduledEntry:
@@ -75,6 +299,11 @@ class EventQueue:
         heapq.heappush(self._heap, entry)
         self.scheduled_total += 1
         return entry
+
+    def reschedule(self, entry: ScheduledEntry, at: float) -> ScheduledEntry:
+        """Re-arm semantics of :meth:`EventQueue.reschedule` on the heap
+        engine: allocates a fresh entry (the heap cannot reuse objects)."""
+        return self.schedule(at, entry.action)
 
     def pop_due(self) -> Optional[ScheduledEntry]:
         """Pop the earliest non-cancelled entry, or None if empty.
@@ -116,3 +345,18 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
+
+
+def make_event_queue(engine: Optional[str] = None):
+    """Build the event queue for ``engine``.
+
+    ``engine`` is ``"wheel"`` (default), ``"heap"`` (the reference oracle)
+    or None, which reads ``REPRO_SIM_QUEUE`` from the environment.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_SIM_QUEUE", "wheel") or "wheel"
+    if engine == "wheel":
+        return EventQueue()
+    if engine == "heap":
+        return HeapEventQueue()
+    raise ValueError(f"unknown event-queue engine {engine!r} (wheel|heap)")

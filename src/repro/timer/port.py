@@ -5,7 +5,7 @@ accepts ``ScheduleTimeout``/``CancelTimeout`` requests and delivers
 ``Timeout`` indications.  Components define their own ``Timeout`` subclasses
 carrying protocol-specific payloads::
 
-    @dataclass(frozen=True)
+    @dataclass(frozen=True, slots=True)
     class PingTimeout(Timeout):
         target: Address = None
 
@@ -29,14 +29,14 @@ def new_timeout_id() -> int:
     return next(_timeout_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timeout(Event):
     """Base class of all timeout indications."""
 
     timeout_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduleTimeout(Event):
     """Request a one-shot timeout ``delay`` seconds from now."""
 
@@ -44,7 +44,7 @@ class ScheduleTimeout(Event):
     timeout: Timeout
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchedulePeriodicTimeout(Event):
     """Request a periodic timeout: first after ``delay``, then every ``period``."""
 
@@ -53,14 +53,14 @@ class SchedulePeriodicTimeout(Event):
     timeout: Timeout
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CancelTimeout(Event):
     """Cancel a pending one-shot timeout by id (idempotent)."""
 
     timeout_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CancelPeriodicTimeout(Event):
     """Cancel a periodic timeout by id (idempotent)."""
 

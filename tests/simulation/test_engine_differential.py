@@ -1,0 +1,64 @@
+"""Differential determinism: wheel engine vs. the heap oracle.
+
+The overhaul's central contract: for a fixed seed and fixture, the wheel
+engine (batched run loop, bucketed queue, unlocked single-threaded paths)
+executes the *byte-identical* trace of the original heap engine.  We pin it
+with ``Tracer.fingerprint()`` — a digest over every dispatched event, its
+handler and its virtual timestamp — across the race-analysis fixtures,
+which between them cover request/response pipelines, CATS churn (joins,
+kills, timer cancellation storms) and quorum reads/writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.race.fixtures import FIXTURES, default_until
+from repro.runtime.trace import Tracer
+from repro.simulation import Simulation
+from repro.simulation.event_queue import EventQueue, HeapEventQueue
+
+
+def run_fixture(name: str, engine: str, seed: int) -> tuple[str, int]:
+    sim = Simulation(seed=seed, queue_engine=engine)
+    sim.system.tracer = Tracer()
+    fixture = FIXTURES[name]
+    fixture(sim)
+    until = default_until(fixture)
+    sim.run(until=until if until is not None else 60.0)
+    return sim.system.tracer.fingerprint(), sim.events_dispatched
+
+
+CASES = [
+    ("clean", 7),
+    ("clean", 23),
+    ("order-bug", 7),
+    ("abd", 7),
+    ("abd", 23),
+    ("cats-churn", 7),
+]
+
+
+@pytest.mark.parametrize(("name", "seed"), CASES)
+def test_fingerprints_identical_across_engines(name, seed):
+    heap_fp, heap_events = run_fixture(name, "heap", seed)
+    wheel_fp, wheel_events = run_fixture(name, "wheel", seed)
+    assert heap_events == wheel_events
+    assert heap_fp == wheel_fp
+
+
+def test_engine_selection_is_plumbed():
+    """queue_engine reaches the queue, and the oracle disables the
+    single-threaded fast paths (it must exercise the seed's locked code)."""
+    wheel = Simulation(seed=1, queue_engine="wheel")
+    heap = Simulation(seed=1, queue_engine="heap")
+    assert isinstance(wheel.queue, EventQueue) and wheel.queue_engine == "wheel"
+    assert isinstance(heap.queue, HeapEventQueue) and heap.queue_engine == "heap"
+    assert wheel.system._single_threaded
+    assert not heap.system._single_threaded
+
+
+def test_wheel_is_deterministic_across_runs():
+    first = run_fixture("clean", "wheel", 7)
+    second = run_fixture("clean", "wheel", 7)
+    assert first == second
