@@ -1,9 +1,9 @@
-"""Full-tree analysis speed: the lint+flow run CI pays on every push.
+"""Full-tree analysis speed: the lint+flow+dist run CI pays on every push.
 
-Times ``lint_paths`` and ``flow.analyze_paths`` over ``src`` and
-``examples`` — the exact work of the gating CI steps — plus the combined
-run, which exercises the shared AST parse cache (each source file must be
-parsed once, not once per pass).
+Times ``lint_paths``, ``flow.analyze_paths``, and ``dist.analyze_paths``
+over ``src`` and ``examples`` — the exact work of the gating CI steps —
+plus the combined three-pass run, which exercises the shared AST parse
+cache (each source file must be parsed once, not once per pass).
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py -q
 """
@@ -14,7 +14,8 @@ from pathlib import Path
 
 from repro.analysis import ast_lint
 from repro.analysis.ast_lint import lint_paths
-from repro.analysis.flow import analyze_paths
+from repro.analysis.dist import analyze_paths as dist_paths
+from repro.analysis.flow import analyze_paths as flow_paths
 
 ROOT = Path(__file__).resolve().parent.parent
 PATHS = [ROOT / "src", ROOT / "examples"]
@@ -25,22 +26,27 @@ def test_lint_full_tree(benchmark):
 
 
 def test_flow_full_tree(benchmark):
-    benchmark(lambda: analyze_paths(PATHS))
+    benchmark(lambda: flow_paths(PATHS))
 
 
-def test_lint_plus_flow_shares_parses(benchmark):
-    """The combined run: flow after lint re-uses every cached parse."""
+def test_dist_full_tree(benchmark):
+    benchmark(lambda: dist_paths(PATHS))
+
+
+def test_all_passes_share_parses(benchmark):
+    """The combined run: flow and dist re-use every parse the lint cached."""
 
     def combined():
         lint_paths(PATHS)
-        return analyze_paths(PATHS)
+        flow_paths(PATHS)
+        return dist_paths(PATHS)
 
     benchmark(combined)
 
 
 def test_parse_cache_is_shared():
-    """Structural check: after a lint run, the flow pass performs zero
-    fresh parses for the same (unchanged) file set."""
+    """Structural check: after a lint run, the flow and dist passes
+    perform zero fresh parses for the same (unchanged) file set."""
     ast_lint.clear_parse_cache()
     lint_paths(PATHS)
     parses = 0
@@ -54,7 +60,10 @@ def test_parse_cache_is_shared():
     counting = Counting(ast_lint._parse_cache)
     ast_lint._parse_cache = counting
     try:
-        analyze_paths(PATHS)
+        flow_paths(PATHS)
+        after_flow = parses
+        dist_paths(PATHS)
     finally:
         ast_lint._parse_cache = dict(counting)
-    assert parses == 0, f"flow re-parsed {parses} files the lint already parsed"
+    assert after_flow == 0, f"flow re-parsed {after_flow} files"
+    assert parses == 0, f"dist re-parsed {parses - after_flow} files"

@@ -89,5 +89,10 @@ def main() -> None:
         print(f"  step {step + 1}: t={simulation.now():.3f}s  last handler: {last}")
 
 
+#: Root component for aggregate wiring verification
+#: (``python -m repro.analysis all --wiring-examples examples``).
+WIRING_ROOT = Main
+
+
 if __name__ == "__main__":
     main()

@@ -92,5 +92,10 @@ def main() -> None:
     print("\ndone: node A suspected node B after its crash.")
 
 
+#: Root component for aggregate wiring verification
+#: (``python -m repro.analysis all --wiring-examples examples``).
+WIRING_ROOT = Main
+
+
 if __name__ == "__main__":
     main()

@@ -126,5 +126,10 @@ def main() -> None:
     print("\nre-run with the same seed for an identical execution.")
 
 
+#: Root component for aggregate wiring verification
+#: (``python -m repro.analysis all --wiring-examples examples``).
+WIRING_ROOT = Main
+
+
 if __name__ == "__main__":
     main()

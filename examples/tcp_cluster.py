@@ -149,5 +149,10 @@ def main() -> None:
     system.shutdown()
 
 
+#: Root component for aggregate wiring verification
+#: (``python -m repro.analysis all --wiring-examples examples``).
+WIRING_ROOT = Main
+
+
 if __name__ == "__main__":
     main()

@@ -1,4 +1,4 @@
-"""Architecture analysis for the component model: three coordinated passes.
+"""Architecture analysis for the component model: six coordinated passes.
 
 1. **AST lint** (:mod:`.ast_lint`, rules ``A001``–``A005``) — inspects
    :class:`~repro.core.component.ComponentDefinition` subclasses without
@@ -16,17 +16,28 @@
    happens-before race detection, determinism checking, and schedule
    exploration over the simulation runtime (loaded lazily: it pulls in
    the simulation stack).
+5. **Event-flow analysis** (:mod:`.flow`, rules ``F001``–``F005``) —
+   whole-program join of trigger sites with subscriptions per (port type,
+   direction, event type), including request/response pairing.
+6. **Distribution readiness** (:mod:`.dist`, rules ``D001``–``D006``) —
+   proves every event and component can survive a process boundary:
+   payload serializability, isolation escapes, closure captures, state
+   transferability, identity leaks, and compact-codec coverage.
 
 Command line: ``python -m repro.analysis src/repro examples`` for the
-lint, ``python -m repro.analysis race <scenario>`` for concurrency
-analysis.  See ``docs/analysis.md`` for the full rule catalogue and
-suppression syntax (``# repro: noqa[A001]``, ``[tool.repro.analysis]``).
+lint, ``python -m repro.analysis {flow,dist,race} ...`` for the other
+passes, and ``python -m repro.analysis all ...`` (:mod:`.aggregate`) for
+every static pass with one merged report and exit code.  Every CLI takes
+``--sarif FILE`` (:mod:`.sarif`) for a SARIF 2.1.0 log.  See
+``docs/analysis.md`` for the full rule catalogue and suppression syntax
+(``# repro: noqa[A001]``, ``[tool.repro.analysis]``).
 """
 
 from .ast_lint import lint_paths
 from .config import AnalysisConfig, load_config
 from .findings import RULES, Finding, Rule, to_json
 from .sanitizer import activate_from_env, disable, enable, is_enabled, sanitized
+from .sarif import to_sarif, write_sarif
 from .wiring import verify_system, verify_tree
 
 __all__ = [
@@ -43,8 +54,10 @@ __all__ = [
     "race",
     "sanitized",
     "to_json",
+    "to_sarif",
     "verify_system",
     "verify_tree",
+    "write_sarif",
 ]
 
 

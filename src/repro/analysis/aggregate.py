@@ -1,0 +1,249 @@
+"""``python -m repro.analysis all`` — every static pass, one exit code.
+
+Runs the AST lint (A*), the event-flow analysis (F*), and the
+distribution-readiness analysis (D*) over the same path set — sharing the
+AST parse cache, so each source file is parsed once — and merges the
+findings into a single sorted report.  With ``--wiring-examples DIR`` it
+additionally assembles every example script in ``DIR`` that declares a
+module-level ``WIRING_ROOT`` component class (under a ManualScheduler:
+built, verified, never started) and folds the wiring findings (W*) in.
+
+This is the CI and pre-commit entry point: exit 0 means the whole tree is
+clean across every family the static passes cover.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .ast_lint import lint_paths
+from .config import AnalysisConfig, find_pyproject, load_config
+from .dist.checks import analyze_paths as dist_paths
+from .findings import Finding
+from .flow.graph import analyze_paths as flow_paths
+from .sarif import write_sarif
+
+#: Module-level attribute an example script sets to its root component
+#: class to opt into aggregate wiring verification.
+WIRING_ROOT_ATTR = "WIRING_ROOT"
+
+
+def load_wiring_root(path: Path):
+    """Import one example script and return its ``WIRING_ROOT`` class.
+
+    Returns None when the script does not declare one.  The module is
+    executed (examples only define classes at import time) and removed
+    from ``sys.modules`` again so repeated loads stay independent.
+    """
+    spec = importlib.util.spec_from_file_location(
+        f"repro_wiring_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return getattr(module, WIRING_ROOT_ATTR, None)
+
+
+def verify_example_assemblies(
+    directory: Path, config: Optional[AnalysisConfig] = None
+) -> list[Finding]:
+    """Assemble and wiring-verify every ``WIRING_ROOT`` example script."""
+    from repro import ComponentSystem, ManualScheduler
+    from .wiring import verify_system
+
+    config = config or AnalysisConfig()
+    findings: list[Finding] = []
+    for path in sorted(directory.glob("*.py")):
+        if config.path_excluded(path):
+            continue
+        # Example components may print during assembly or teardown; keep
+        # stdout clean for the JSON/SARIF report streams.
+        with contextlib.redirect_stdout(sys.stderr):
+            root_cls = load_wiring_root(path)
+            if root_cls is None:
+                continue
+            system = ComponentSystem(scheduler=ManualScheduler(), seed=7)
+            try:
+                system.bootstrap(root_cls)
+                verified = verify_system(system)
+            finally:
+                system.shutdown()
+        for finding in verified:
+            if not config.rule_enabled(finding.rule):
+                continue
+            findings.append(
+                Finding(
+                    rule=finding.rule,
+                    message=f"[{path.name}] {finding.message}",
+                    obj=finding.obj,
+                    extra=finding.extra,
+                )
+            )
+    return findings
+
+
+def run_all(
+    paths: Sequence[Path],
+    config: Optional[AnalysisConfig] = None,
+    wiring_examples: Optional[Path] = None,
+) -> dict[str, list[Finding]]:
+    """Run every pass; returns findings per pass name (insertion order)."""
+    config = config or AnalysisConfig()
+    per_pass: dict[str, list[Finding]] = {
+        "lint": lint_paths(paths, config=config),
+        "flow": flow_paths(paths, config=config),
+        "dist": dist_paths(paths, config=config),
+    }
+    if wiring_examples is not None:
+        per_pass["wiring"] = verify_example_assemblies(wiring_examples, config)
+    return per_pass
+
+
+def merged_findings(per_pass: dict[str, list[Finding]]) -> list[Finding]:
+    merged = [f for findings in per_pass.values() for f in findings]
+    merged.sort(key=lambda f: (f.file or "", f.line or 0, f.rule, f.obj or ""))
+    return merged
+
+
+def to_aggregate_json(per_pass: dict[str, list[Finding]]) -> str:
+    merged = merged_findings(per_pass)
+    counts: dict[str, int] = {}
+    for finding in merged:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return json.dumps(
+        {
+            "version": 1,
+            "passes": {
+                name: {
+                    "findings": [f.to_dict() for f in findings],
+                    "total": len(findings),
+                }
+                for name, findings in per_pass.items()
+            },
+            "counts": counts,
+            "total": len(merged),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis all",
+        description=(
+            "Run every static analysis pass (lint A*, flow F*, dist D*) "
+            "over the tree with one merged report and one exit code; "
+            "--wiring-examples DIR folds in wiring verification (W*) of "
+            "example assemblies."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        type=Path,
+        help="files or directories to analyze (directories walked recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--wiring-examples",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="assemble every WIRING_ROOT script in DIR and verify wiring",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="comma-separated rule prefixes to enable",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RULES",
+        help="comma-separated rule prefixes to disable",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None, metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro.analysis] from",
+    )
+    return parser
+
+
+def _split_csv(values: Optional[Sequence[str]]) -> tuple[str, ...]:
+    if not values:
+        return ()
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return tuple(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    if args.wiring_examples is not None and not args.wiring_examples.is_dir():
+        print(
+            f"error: not a directory: {args.wiring_examples}", file=sys.stderr
+        )
+        return 2
+
+    pyproject = args.config
+    if pyproject is None:
+        pyproject = find_pyproject(args.paths[0])
+    try:
+        config = load_config(pyproject) if pyproject else AnalysisConfig()
+    except Exception as exc:  # noqa: BLE001 - report config errors as usage errors
+        print(f"error: bad config {pyproject}: {exc}", file=sys.stderr)
+        return 2
+    config = config.merged(
+        select=_split_csv(args.select) if args.select else None,
+        ignore=_split_csv(args.ignore) if args.ignore else None,
+    )
+
+    per_pass = run_all(
+        args.paths, config=config, wiring_examples=args.wiring_examples
+    )
+    merged = merged_findings(per_pass)
+
+    if args.sarif is not None:
+        write_sarif(merged, args.sarif)
+    if args.format == "json":
+        print(to_aggregate_json(per_pass))
+    else:
+        for finding in merged:
+            print(finding.format())
+        totals = ", ".join(
+            f"{name}: {len(findings)}" for name, findings in per_pass.items()
+        )
+        print(f"{len(merged)} finding(s) ({totals})")
+    return 1 if merged else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -39,6 +39,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--sarif",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log ('-' for stdout)",
+    )
+    parser.add_argument(
         "--select",
         action="append",
         default=None,
@@ -97,6 +104,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .flow.cli import main as flow_main
 
         return flow_main(argv[1:])
+    if argv and argv[0] == "dist":
+        from .dist.cli import main as dist_main
+
+        return dist_main(argv[1:])
+    if argv and argv[0] == "all":
+        from .aggregate import main as all_main
+
+        return all_main(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -130,6 +145,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     findings = lint_paths(args.paths, config=config)
 
+    if args.sarif is not None:
+        from .sarif import write_sarif
+
+        write_sarif(findings, args.sarif)
     if args.format == "json":
         print(to_json(findings))
     else:

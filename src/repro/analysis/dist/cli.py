@@ -1,9 +1,8 @@
-"""``python -m repro.analysis flow <paths>`` — the event-flow subcommand.
+"""``python -m repro.analysis dist <paths>`` — distribution readiness.
 
-Same reporting surface and exit codes as the lint CLI: 0 clean, 1 when
-findings were reported, 2 on usage errors.  ``--dot FILE`` additionally
-writes the producer/consumer graph (restricted to the scanned files) as
-Graphviz text; ``--dot -`` writes it to stdout.
+Same reporting surface and exit codes as the lint and flow CLIs: 0 clean,
+1 when findings were reported, 2 on usage errors.  ``--sarif FILE``
+additionally writes the findings as a SARIF 2.1.0 log (``-`` for stdout).
 """
 
 from __future__ import annotations
@@ -15,17 +14,19 @@ from typing import Optional, Sequence
 
 from ..config import AnalysisConfig, find_pyproject, load_config
 from ..findings import to_json
-from .dot import to_dot
-from .graph import analyze_paths, build_flow_graph
+from ..sarif import write_sarif
+from .checks import analyze_paths
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis flow",
+        prog="python -m repro.analysis dist",
         description=(
-            "Whole-program static event-flow analysis: checks every "
-            "trigger/subscription against the port-type contracts (rules "
-            "F001-F005) over a program-wide producer/consumer graph."
+            "Whole-program distribution-readiness analysis: proves every "
+            "event and component can survive a process boundary (rules "
+            "D001-D006: payload serializability, isolation escapes, "
+            "closure capture, non-transferable state, identity leaks, "
+            "codec coverage)."
         ),
     )
     parser.add_argument(
@@ -41,13 +42,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
-        "--dot",
-        type=str,
-        default=None,
-        metavar="FILE",
-        help="write the event-flow graph as Graphviz DOT ('-' for stdout)",
-    )
-    parser.add_argument(
         "--sarif",
         type=str,
         default=None,
@@ -56,7 +50,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select", action="append", default=None, metavar="RULES",
-        help="comma-separated rule prefixes to enable (e.g. F001,F003)",
+        help="comma-separated rule prefixes to enable (e.g. D001,D006)",
     )
     parser.add_argument(
         "--ignore", action="append", default=None, metavar="RULES",
@@ -103,17 +97,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     findings = analyze_paths(args.paths, config=config)
 
     if args.sarif is not None:
-        from ..sarif import write_sarif
-
         write_sarif(findings, args.sarif)
-    if args.dot is not None:
-        graph, scanned = build_flow_graph(args.paths, config)
-        dot = to_dot(graph, files=set(scanned), title="event-flow")
-        if args.dot == "-":
-            sys.stdout.write(dot)
-        else:
-            Path(args.dot).write_text(dot, encoding="utf-8")
-
     if args.format == "json":
         print(to_json(findings))
     else:

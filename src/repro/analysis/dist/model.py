@@ -1,0 +1,467 @@
+"""Extraction model for the distribution-readiness pass.
+
+Everything here is derived from the shared :mod:`..ast_lint` index — no
+imports of analyzed code.  The model answers four questions per class:
+
+- events: which annotated payload fields does it carry (own + inherited),
+  and does each annotation ground to something that survives pickling?
+- components: which ``self`` attributes are mutable containers, which hold
+  OS resources, which are child components or ports, and does the class
+  override the section-2.6 state-transfer hooks?
+- registrations: which event classes carry a compact-codec registration
+  (``@register_compact`` or a ``register_compact(Event)`` call)?
+
+Grounding is deliberately conservative: a bare name is only classified
+through the module's import table or the project index, so a user class
+that happens to be called ``Lock`` is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..ast_lint import (
+    COMPONENT_ROOT,
+    EVENT_ROOT,
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _base_name,
+    _framework_registry_paths,
+    build_index,
+    iter_python_files,
+    parse_module,
+)
+from ..config import AnalysisConfig
+
+#: Dotted-name prefixes whose instances hold OS state (threads, sockets,
+#: files, queues, servers).  Matched against names resolved through the
+#: module's import table, never against bare identifiers.
+RESOURCE_PREFIXES = (
+    "threading.",
+    "_thread.",
+    "socket.",
+    "ssl.",
+    "selectors.",
+    "subprocess.",
+    "multiprocessing.",
+    "queue.",
+    "concurrent.futures.",
+    "socketserver.",
+    "http.server.",
+    "http.client.",
+    "asyncio.",
+    "io.",
+    "mmap.",
+    "sqlite3.",
+    "weakref.",
+)
+
+#: Builtins/calls that open OS resources regardless of import table.
+RESOURCE_BUILTINS = frozenset({"open"})
+
+#: Framework runtime objects that are meaningless in another process.
+RUNTIME_NAMES = frozenset(
+    {
+        "Component",
+        "ComponentCore",
+        "ComponentDefinition",
+        "ComponentSystem",
+        "Channel",
+        "Port",
+        "PortCore",
+        "Face",
+        "Scheduler",
+    }
+)
+
+#: Annotation names denoting callables/closures (never picklable by value).
+CALLABLE_NAMES = frozenset(
+    {
+        "Callable",
+        "FunctionType",
+        "LambdaType",
+        "MethodType",
+        "Generator",
+        "Coroutine",
+        "Awaitable",
+        "Iterator",
+    }
+)
+
+#: Calls whose result is a mutable container (aliasing hazard at trigger
+#: sites).  Bare builtins plus the collections constructors.
+MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+
+def _dotted_name(expr: ast.expr) -> Optional[str]:
+    """``a.b.C`` -> ``"a.b.C"``; plain names return themselves."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve_dotted(expr: ast.expr, module: ModuleInfo) -> Optional[str]:
+    """Ground an annotation/call name through the module's import table.
+
+    ``Lock`` with ``from threading import Lock`` -> ``threading.Lock``;
+    ``threading.Lock`` with ``import threading`` -> ``threading.Lock``;
+    an unimported bare name returns None (ungroundable -> silence).
+    """
+    if isinstance(expr, ast.Name):
+        return module.imports.get(expr.id)
+    dotted = _dotted_name(expr)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    resolved_root = module.imports.get(root, root)
+    return f"{resolved_root}.{rest}" if rest else resolved_root
+
+
+# ----------------------------------------------------------------- events
+
+
+@dataclass(frozen=True)
+class FieldModel:
+    """One annotated payload field of an event class."""
+
+    event: str  # declaring class (may be a base of the queried event)
+    name: str
+    annotation: str
+    reason: Optional[str]  # why unserializable; None = clean/ungroundable
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class EventVerdict:
+    """The D001 verdict for one event type, pre-suppression.
+
+    ``wire_safe`` ignores ``# repro: noqa[D001]`` comments on purpose: a
+    suppressed finding silences the report, but the event still cannot
+    cross a process boundary, so the round-trip oracle must not try.
+    """
+
+    name: str
+    wire_safe: bool
+    reasons: tuple[str, ...] = ()
+
+
+def _annotation_leaves(ann: ast.expr) -> Iterable[ast.expr]:
+    """Yield the groundable name leaves of an annotation expression."""
+    if isinstance(ann, ast.Constant):
+        if isinstance(ann.value, str):
+            try:
+                parsed = ast.parse(ann.value, mode="eval")
+            except SyntaxError:
+                return
+            yield from _annotation_leaves(parsed.body)
+        return
+    if isinstance(ann, (ast.Name, ast.Attribute)):
+        yield ann
+        return
+    if isinstance(ann, ast.Subscript):
+        yield from _annotation_leaves(ann.value)
+        yield from _annotation_leaves(ann.slice)
+        return
+    if isinstance(ann, ast.BinOp):  # X | Y unions
+        yield from _annotation_leaves(ann.left)
+        yield from _annotation_leaves(ann.right)
+        return
+    if isinstance(ann, (ast.Tuple, ast.List)):
+        for elt in ann.elts:
+            yield from _annotation_leaves(elt)
+        return
+    if isinstance(ann, ast.Lambda):
+        yield ann  # a lambda in an annotation is its own finding
+
+
+def classify_annotation(
+    ann: ast.expr, module: ModuleInfo, index: ProjectIndex
+) -> Optional[str]:
+    """Reason the annotated type cannot cross a process boundary, or None."""
+    for leaf in _annotation_leaves(ann):
+        if isinstance(leaf, ast.Lambda):
+            return "a lambda expression"
+        bare = _base_name(leaf)
+        dotted = _resolve_dotted(leaf, module)
+        if dotted is not None:
+            for prefix in RESOURCE_PREFIXES:
+                if dotted.startswith(prefix) or dotted == prefix.rstrip("."):
+                    return f"OS resource type {dotted}"
+        if bare is None:
+            continue
+        if bare in RUNTIME_NAMES:
+            return f"framework runtime object {bare}"
+        if bare in CALLABLE_NAMES:
+            return f"callable type {bare}"
+        if index.is_component(bare):
+            return f"component reference ({bare})"
+        if index.is_port_type(bare):
+            return f"port reference ({bare})"
+    return None
+
+
+def _own_fields(info: ClassInfo, index: ProjectIndex) -> list[FieldModel]:
+    """Annotated fields declared by one class (not its bases).
+
+    Dataclass events declare fields as class-body ``AnnAssign``; plain
+    events (e.g. :class:`~repro.core.fault.Fault`) annotate ``__init__``
+    parameters instead, so those count when the body declares nothing.
+    """
+    out: list[FieldModel] = []
+    path = str(info.module.path)
+    for item in info.node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            if item.target.id.startswith("_") or item.target.id == "responds_to":
+                continue
+            out.append(
+                FieldModel(
+                    event=info.name,
+                    name=item.target.id,
+                    annotation=ast.unparse(item.annotation),
+                    reason=classify_annotation(item.annotation, info.module, index),
+                    file=path,
+                    line=item.lineno,
+                )
+            )
+    if out:
+        return out
+    init = info.methods.get("__init__")
+    if init is None:
+        return out
+    for arg in init.args.args[1:] + init.args.kwonlyargs:
+        if arg.annotation is None:
+            continue
+        out.append(
+            FieldModel(
+                event=info.name,
+                name=arg.arg,
+                annotation=ast.unparse(arg.annotation),
+                reason=classify_annotation(arg.annotation, info.module, index),
+                file=path,
+                line=arg.lineno,
+            )
+        )
+    return out
+
+
+# ------------------------------------------------------------- components
+
+
+@dataclass
+class ComponentModel:
+    """Distribution-relevant view of one component class."""
+
+    name: str
+    file: str
+    line: int
+    #: self attribute -> line of the first mutable-container assignment
+    mutable_attrs: dict[str, int] = field(default_factory=dict)
+    #: (attr, dotted resource constructor, assignment line)
+    resource_attrs: list[tuple[str, str, int]] = field(default_factory=list)
+    #: attrs assigned from ``self.create(...)`` (child component handles)
+    child_attrs: set[str] = field(default_factory=set)
+    #: attrs assigned from provides/requires (port handles)
+    port_attrs: set[str] = field(default_factory=set)
+    has_state_hooks: bool = False
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    if isinstance(
+        value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        name = _base_name(value.func)
+        return name in MUTABLE_CALLS
+    return False
+
+
+def _resource_call(value: ast.expr, module: ModuleInfo) -> Optional[str]:
+    """Dotted name of an OS-resource constructor call, or None."""
+    if not isinstance(value, ast.Call):
+        return None
+    bare = _base_name(value.func)
+    if bare in RESOURCE_BUILTINS and isinstance(value.func, ast.Name):
+        return bare
+    dotted = _resolve_dotted(value.func, module)
+    if dotted is None:
+        return None
+    for prefix in RESOURCE_PREFIXES:
+        if dotted.startswith(prefix):
+            return dotted
+    return None
+
+
+def build_component_model(
+    info: ClassInfo, index: ProjectIndex
+) -> ComponentModel:
+    model = ComponentModel(
+        name=info.name,
+        file=str(info.module.path),
+        line=info.node.lineno,
+        has_state_hooks=(
+            index.lookup_method(info.name, "dump_state") is not None
+            and index.lookup_method(info.name, "load_state") is not None
+        ),
+    )
+    for method in info.methods.values():
+        selfname = method.args.args[0].arg if method.args.args else None
+        if selfname is None:
+            continue
+        for stmt in ast.walk(method):
+            targets: list[ast.expr]
+            value: Optional[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == selfname
+                ):
+                    continue
+                attr = target.attr
+                if _is_mutable_value(value):
+                    model.mutable_attrs.setdefault(attr, stmt.lineno)
+                resource = _resource_call(value, info.module)
+                if resource is not None:
+                    model.resource_attrs.append((attr, resource, stmt.lineno))
+                if isinstance(value, ast.Call):
+                    fn = value.func
+                    if (
+                        isinstance(fn, ast.Attribute)
+                        and isinstance(fn.value, ast.Name)
+                        and fn.value.id == selfname
+                    ):
+                        if fn.attr == "create":
+                            model.child_attrs.add(attr)
+                        elif fn.attr in ("provides", "requires"):
+                            model.port_attrs.add(attr)
+    return model
+
+
+# ------------------------------------------------------------------ model
+
+
+@dataclass
+class DistModel:
+    """Everything the D checks need, shared across rules."""
+
+    index: ProjectIndex
+    #: event class name -> own annotated fields (framework classes included)
+    event_fields: dict[str, list[FieldModel]]
+    #: component class name -> model (framework classes included)
+    components: dict[str, ComponentModel]
+    #: event class names with a compact-codec registration anywhere
+    registered: set[str]
+
+    def fields_of(self, event: str) -> list[FieldModel]:
+        """Own + inherited fields of ``event``, base classes first."""
+        chain: list[str] = []
+        seen: set[str] = set()
+        frontier = [event]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen or current == EVENT_ROOT:
+                continue
+            seen.add(current)
+            chain.append(current)
+            frontier.extend(self.index.bases.get(current, ()))
+        out: list[FieldModel] = []
+        for name in reversed(chain):
+            out.extend(self.event_fields.get(name, ()))
+        return out
+
+    def verdict(self, event: str) -> EventVerdict:
+        reasons = tuple(
+            f"field {f.name!r} ({f.event}.{f.name}: {f.annotation}): {f.reason}"
+            for f in self.fields_of(event)
+            if f.reason is not None
+        )
+        return EventVerdict(event, wire_safe=not reasons, reasons=reasons)
+
+    def event_names(self) -> list[str]:
+        """All indexed classes descending from ``Event`` (sorted)."""
+        return sorted(
+            name
+            for name in self.index.classes
+            if name != EVENT_ROOT and self.index.is_event(name)
+        )
+
+
+def _scan_registrations(module: ModuleInfo, registered: set[str]) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                if _base_name(target) == "register_compact":
+                    registered.add(node.name)
+        elif isinstance(node, ast.Call):
+            if _base_name(node.func) == "register_compact" and node.args:
+                name = _base_name(node.args[0])
+                if name:
+                    registered.add(name)
+
+
+def build_dist_model(
+    paths: Iterable[Path | str],
+    config: Optional[AnalysisConfig] = None,
+) -> tuple[DistModel, dict[str, ModuleInfo]]:
+    """Build the model; returns it plus the scanned modules (findings set).
+
+    Framework modules (the installed ``repro`` package) are indexed and
+    modelled so inherited fields and base classes ground, but findings are
+    only ever anchored in scanned files — same contract as the flow pass.
+    """
+    config = config or AnalysisConfig()
+    scanned: dict[str, ModuleInfo] = {}
+    modules: list[ModuleInfo] = []
+    for path in iter_python_files(paths):
+        if config.path_excluded(path):
+            continue
+        module = parse_module(path)
+        if module is not None:
+            modules.append(module)
+            scanned[str(module.path)] = module
+    index = build_index(modules, _framework_registry_paths())
+
+    all_modules = list(modules)
+    seen_paths = {module.path.resolve() for module in modules}
+    for path in iter_python_files(_framework_registry_paths()):
+        if path.resolve() in seen_paths:
+            continue
+        module = parse_module(path)
+        if module is not None:
+            all_modules.append(module)
+
+    event_fields: dict[str, list[FieldModel]] = {}
+    components: dict[str, ComponentModel] = {}
+    registered: set[str] = set()
+    for name, info in index.classes.items():
+        if name == EVENT_ROOT or name == COMPONENT_ROOT:
+            continue
+        if index.is_event(name):
+            event_fields[name] = _own_fields(info, index)
+        if index.is_component(name):
+            components[name] = build_component_model(info, index)
+    for module in all_modules:
+        _scan_registrations(module, registered)
+
+    return DistModel(index, event_fields, components, registered), scanned

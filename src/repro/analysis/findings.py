@@ -14,6 +14,8 @@ grouped by pass:
   over (port type, direction, event type) (:mod:`repro.analysis.flow`)
 - ``C0xx`` — consistency checker results surfaced as findings
   (:mod:`repro.consistency.checker`)
+- ``D0xx`` — distribution-readiness analysis: can every event and
+  component survive a process boundary? (:mod:`repro.analysis.dist`)
 
 A finding is suppressed at the source line with a trailing
 ``# repro: noqa[A001]`` comment (see :mod:`repro.analysis.config` for
@@ -173,6 +175,48 @@ register_rule(
     "the consistency checker found no legal sequential order of the "
     "recorded register operations that respects real time",
     "consistency",
+)
+register_rule(
+    "D001", "unserializable-event-payload",
+    "an event field is annotated with a type that cannot cross a process "
+    "boundary (component/port/channel references, locks, threads, sockets, "
+    "files, callables)",
+    "dist",
+)
+register_rule(
+    "D002", "isolation-escape",
+    "a trigger site passes self.<mutable> by reference, so sender and "
+    "receiver alias state that a process boundary would split (copy with "
+    "tuple()/dict()/... at the trigger site)",
+    "dist",
+)
+register_rule(
+    "D003", "closure-capture",
+    "a lambda or local def crosses the event system (subscribed as a "
+    "handler or embedded in a payload), capturing component state or loop "
+    "variables that cannot be serialized",
+    "dist",
+)
+register_rule(
+    "D004", "non-transferable-state",
+    "component state holds an OS resource (thread, lock, socket, server, "
+    "file) and the class overrides neither dump_state nor load_state, so "
+    "section-2.6 state transfer cannot migrate it across processes",
+    "dist",
+)
+register_rule(
+    "D005", "identity-leak",
+    "a payload carries a direct component or port reference; shard routing "
+    "requires Address indirection, so the reference is meaningless in the "
+    "receiving process",
+    "dist",
+)
+register_rule(
+    "D006", "codec-coverage",
+    "a protocol event crosses a Network port with no compact-codec "
+    "registration, so it rides the pickle fallback at wire speed (register "
+    "with @register_compact or justify the fallback)",
+    "dist",
 )
 
 

@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 from ...simulation.core import Simulation
 from ..findings import Finding, to_json
+from ..sarif import write_sarif
 from . import fixtures as _fixtures
 from .determinism import check_determinism
 from .explorer import explore, load_replay, replay, save_replay
@@ -96,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="additionally write findings as a SARIF 2.1.0 log ('-' for stdout)",
     )
     parser.add_argument(
         "--list-fixtures", action="store_true", help="print built-in scenarios and exit"
@@ -176,6 +183,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             until=until,
             max_dispatches=args.max_dispatches,
         )
+        if args.sarif is not None:
+            write_sarif(report.findings, args.sarif)
         if args.format == "json":
             print(to_json(report.findings))
         else:
@@ -194,6 +203,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_dispatches=args.max_dispatches,
             scenario_spec=spec,
         )
+        if args.sarif is not None:
+            write_sarif(result.findings, args.sarif)
         if args.format == "json":
             print(to_json(result.findings))
         else:
@@ -206,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1 if (result.found or result.baseline_failed) else 0
 
     findings, failure = _race_once(scenario, args.seed, until, args.max_dispatches)
+    if args.sarif is not None:
+        write_sarif(findings, args.sarif)
     _emit(findings, args.format)
     if failure is not None:
         print(f"note: scenario failed during the run: {failure}", file=sys.stderr)

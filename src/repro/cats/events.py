@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..core.event import Event
 from ..core.port import PortType
 from ..network.address import Address
+from ..network.compact import register_compact
 from ..network.message import NetworkControlMessage
 
 _op_ids = itertools.count(1)
@@ -127,37 +128,42 @@ class Ring(PortType):
 # ------------------------------------------------------- ring wire messages
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class FindSuccessor(NetworkControlMessage):
     """Locate the successor of ``key``; reply goes straight to ``reply_to``."""
 
     key: int = 0
-    reply_to: Address = None  # type: ignore[assignment]
+    reply_to: Address | None = None
     op_id: int = 0
     hops: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class FoundSuccessor(NetworkControlMessage):
     key: int = 0
-    responsible: Address = None  # type: ignore[assignment]
+    responsible: Address | None = None
     predecessor: Address | None = None
     successors: tuple[Address, ...] = ()
     op_id: int = 0
     hops: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class GetNeighbors(NetworkControlMessage):
     """Stabilization probe to the successor."""
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class GetNeighborsReply(NetworkControlMessage):
     predecessor: Address | None = None
     successors: tuple[Address, ...] = ()
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class Notify(NetworkControlMessage):
     """Tell the successor we believe we are its predecessor."""
@@ -166,6 +172,7 @@ class Notify(NetworkControlMessage):
 # ----------------------------------------------------- quorum wire messages
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class GroupRequest(NetworkControlMessage):
     """Coordinator -> primary: which view serves ``key``?"""
@@ -174,15 +181,17 @@ class GroupRequest(NetworkControlMessage):
     op_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class GroupResponse(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
-    primary: Address = None  # type: ignore[assignment]
+    primary: Address | None = None
     view_id: int = 0
     members: tuple[Address, ...] = ()
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class GroupBusy(NetworkControlMessage):
     """The primary's view is reconfiguring; retry shortly."""
@@ -191,6 +200,7 @@ class GroupBusy(NetworkControlMessage):
     op_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class GroupWrongNode(NetworkControlMessage):
     """This node is not the primary for ``key`` (stale routing)."""
@@ -199,14 +209,16 @@ class GroupWrongNode(NetworkControlMessage):
     op_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ReadRequest(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
-    primary: Address = None  # type: ignore[assignment]
+    primary: Address | None = None
     view_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ReadResponse(NetworkControlMessage):
     key: int = 0
@@ -217,23 +229,26 @@ class ReadResponse(NetworkControlMessage):
     value: object = None
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class WriteRequest(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
-    primary: Address = None  # type: ignore[assignment]
+    primary: Address | None = None
     view_id: int = 0
     timestamp: int = 0
     writer: int = 0
     value: object = None
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class WriteResponse(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ViewRejected(NetworkControlMessage):
     """Replica refused an operation: view mismatch or fenced range."""
@@ -245,6 +260,7 @@ class ViewRejected(NetworkControlMessage):
 # ------------------------------------------------ view reconfiguration wire
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ViewPrepare(NetworkControlMessage):
     """Primary -> members: fence the range, report your data."""
@@ -255,12 +271,14 @@ class ViewPrepare(NetworkControlMessage):
     members: tuple[Address, ...] = ()
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ViewPrepareAck(NetworkControlMessage):
     view_id: int = 0
     records: tuple = ()  # tuple[Record, ...]
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ViewPrepareReject(NetworkControlMessage):
     """A newer overlapping view outranks this prepare's ballot."""
@@ -270,6 +288,7 @@ class ViewPrepareReject(NetworkControlMessage):
     current_primary_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ViewCommit(NetworkControlMessage):
     """Primary -> members: install the merged state, activate the view."""
@@ -281,6 +300,7 @@ class ViewCommit(NetworkControlMessage):
     records: tuple = ()
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ViewCommitAck(NetworkControlMessage):
     view_id: int = 0

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from ..core.component import ComponentDefinition
 from ..core.handler import handles
 from ..network.address import Address
+from ..network.compact import register_compact
 from ..network.message import Network, NetworkControlMessage
 from .events import (
     GetRequest,
@@ -26,6 +27,7 @@ from .events import (
 )
 
 
+@register_compact
 @dataclass(frozen=True)
 class ClientPut(NetworkControlMessage):
     key: int = 0
@@ -33,12 +35,14 @@ class ClientPut(NetworkControlMessage):
     op_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True)
 class ClientGet(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
 
 
+@register_compact
 @dataclass(frozen=True)
 class ClientPutReply(NetworkControlMessage):
     op_id: int = 0
@@ -47,6 +51,7 @@ class ClientPutReply(NetworkControlMessage):
     error: str = ""
 
 
+@register_compact
 @dataclass(frozen=True)
 class ClientGetReply(NetworkControlMessage):
     op_id: int = 0

@@ -28,7 +28,10 @@ class Fault(Event):
     def __init__(
         self,
         cause: BaseException,
-        source: "ComponentCore",
+        # Faults climb the local supervision tree and never cross a shard
+        # boundary; the core reference is how the parent identifies and
+        # restarts the failed child in-process.
+        source: "ComponentCore",  # repro: noqa[D001]
         event: Optional[Event] = None,
     ) -> None:
         self.cause = cause

@@ -65,6 +65,37 @@ class PickleCodec(Codec):
         return message
 
 
+def encode_event(event) -> bytes:
+    """Pickle any :class:`~repro.core.event.Event` for a shard boundary.
+
+    The message codecs above are transport-facing and insist on
+    :class:`Message`; shard scale-out (and the D001 round-trip oracle)
+    also moves plain events, so these helpers apply the same pickle
+    discipline to the full event hierarchy.
+    """
+    from ..core.event import Event
+
+    if not isinstance(event, Event):
+        raise SerializationError(f"not an Event: {event!r}")
+    try:
+        return pickle.dumps(event, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # noqa: BLE001
+        raise SerializationError(f"cannot pickle {event!r}: {exc}") from exc
+
+
+def decode_event(payload: bytes):
+    """Inverse of :func:`encode_event`; checks the result is an Event."""
+    from ..core.event import Event
+
+    try:
+        event = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001
+        raise SerializationError(f"cannot unpickle event: {exc}") from exc
+    if not isinstance(event, Event):
+        raise SerializationError(f"decoded object is not an Event: {event!r}")
+    return event
+
+
 class FrameCodec:
     """Length-prefixed framing with optional zlib compression."""
 

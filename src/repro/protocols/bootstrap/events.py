@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from ...core.event import Event
 from ...core.port import PortType
 from ...network.address import Address
+from ...network.compact import register_compact
 from ...network.message import NetworkControlMessage
 
 
@@ -41,11 +42,13 @@ class Bootstrap(PortType):
 # ---------------------------------------------------------------- messages
 
 
+@register_compact
 @dataclass(frozen=True)
 class GetPeersRequest(NetworkControlMessage):
     max_peers: int = 16
 
 
+@register_compact
 @dataclass(frozen=True)
 class GetPeersResponse(NetworkControlMessage):
     """Alive peers; with none, ``create_ring`` says whether the requester
@@ -56,6 +59,7 @@ class GetPeersResponse(NetworkControlMessage):
     create_ring: bool = False
 
 
+@register_compact
 @dataclass(frozen=True)
 class KeepAlive(NetworkControlMessage):
     """Periodic liveness beacon from a joined node to the server."""

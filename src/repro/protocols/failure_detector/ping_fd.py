@@ -22,16 +22,19 @@ from ...timer.port import (
     Timer,
     new_timeout_id,
 )
+from ...network.compact import register_compact
 from .port import FailureDetector, MonitorNode, Restore, StopMonitoringNode, Suspect
 
 _nonces = itertools.count(1)
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class FdPing(NetworkControlMessage):
     nonce: int = 0
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class FdPong(NetworkControlMessage):
     nonce: int = 0

@@ -19,7 +19,9 @@ from .port import Status, StatusRequest, StatusResponse
 
 
 @dataclass(frozen=True)
-class MonitorReport(NetworkControlMessage):
+# Low-rate telemetry (one report per period per node); the pickle
+# fallback is fine off the hot path, so no compact registration.
+class MonitorReport(NetworkControlMessage):  # repro: noqa[D006]
     """One node's status snapshot, shipped to the monitor server."""
 
     statuses: tuple[tuple[str, tuple], ...] = ()

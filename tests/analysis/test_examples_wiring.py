@@ -1,53 +1,50 @@
 """Every example assembly builds with zero wiring findings.
 
-Each ``examples/`` script has a module-level root component; these tests
-construct the full tree under a ManualScheduler (nothing executes, Start
-stays queued) and run the wiring verifier over it.  This is the "assemble,
-verify, never start" workflow ``docs/analysis.md`` describes.
+Each ``examples/`` script declares its root component via a module-level
+``WIRING_ROOT`` attribute (the convention the aggregate CLI's
+``--wiring-examples`` flag consumes); these tests construct the full tree
+under a ManualScheduler (nothing executes, Start stays queued) and run
+the wiring verifier over it.  This is the "assemble, verify, never start"
+workflow ``docs/analysis.md`` describes.
 """
 
 from __future__ import annotations
 
-import importlib.util
-import sys
 from pathlib import Path
 
 import pytest
 
 from repro import ComponentSystem, ManualScheduler
 from repro.analysis import verify_system
+from repro.analysis.aggregate import load_wiring_root
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
-#: example module -> root component class name
-ASSEMBLIES = {
-    "quickstart": "Main",
-    "dynamic_reconfiguration": "Main",
-    "kvstore_cluster": "ClusterMain",
-    "web_monitoring": "Main",
-    "deterministic_debugging": "Main",
-    "simulation_churn": "Main",
-    "tcp_cluster": "Main",
+#: every example script must opt in; update when adding examples
+EXPECTED = {
+    "quickstart",
+    "dynamic_reconfiguration",
+    "kvstore_cluster",
+    "web_monitoring",
+    "deterministic_debugging",
+    "simulation_churn",
+    "tcp_cluster",
 }
 
 
-def load_example(name: str):
-    spec = importlib.util.spec_from_file_location(
-        f"examples_{name}", EXAMPLES / f"{name}.py"
-    )
-    module = importlib.util.module_from_spec(spec)
-    sys.modules[spec.name] = module
-    try:
-        spec.loader.exec_module(module)
-    finally:
-        sys.modules.pop(spec.name, None)
-    return module
+def test_every_example_declares_a_wiring_root():
+    declared = {
+        path.stem
+        for path in EXAMPLES.glob("*.py")
+        if load_wiring_root(path) is not None
+    }
+    assert declared == EXPECTED
 
 
-@pytest.mark.parametrize("name", sorted(ASSEMBLIES))
+@pytest.mark.parametrize("name", sorted(EXPECTED))
 def test_example_assembly_has_clean_wiring(name):
-    module = load_example(name)
-    root_cls = getattr(module, ASSEMBLIES[name])
+    root_cls = load_wiring_root(EXAMPLES / f"{name}.py")
+    assert root_cls is not None, f"{name}.py lost its WIRING_ROOT"
     system = ComponentSystem(scheduler=ManualScheduler(), seed=7)
     try:
         system.bootstrap(root_cls)
