@@ -17,12 +17,12 @@ from repro import ComponentDefinition, ComponentSystem, Event, PortType, Start, 
 from repro import WorkStealingScheduler, replace_component
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EchoReq(Event):
     n: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EchoResp(Event):
     n: int
     text: str
@@ -67,12 +67,14 @@ class Client(ComponentDefinition):
     def __init__(self) -> None:
         super().__init__()
         self.port = self.requires(EchoPort)
-        self.responses: list[EchoResp] = []
+        self.responses: list[tuple[int, str]] = []
         self.subscribe(self.on_resp, self.port)
 
     @handles(EchoResp)
     def on_resp(self, resp: EchoResp) -> None:
-        self.responses.append(resp)
+        # Copy the payload fields out instead of retaining the event;
+        # bounded by the 13 requests this demo sends.
+        self.responses.append((resp.n, resp.text))  # repro: noqa[M002]
 
     def send(self, n: int) -> None:
         self.trigger(EchoReq(n), self.port)
@@ -96,8 +98,8 @@ def main() -> None:
     for n in range(5):
         client.send(n)
     time.sleep(0.3)
-    for resp in client.responses:
-        print(f"  {resp.text}")
+    for _n, text in client.responses:
+        print(f"  {text}")
 
     print("\nhot-swapping V1 -> V2 while 5 more requests are in flight...")
     for n in range(5, 10):
@@ -108,12 +110,12 @@ def main() -> None:
         client.send(n)
     time.sleep(0.5)
 
-    for resp in client.responses[5:]:
-        print(f"  {resp.text}")
-    answered = sorted(r.n for r in client.responses)
+    for _n, text in client.responses[5:]:
+        print(f"  {text}")
+    answered = sorted(n for n, _text in client.responses)
     print(f"\nall {len(answered)} requests answered, none lost: "
           f"{answered == list(range(13))}")
-    print(f"counter carried across the swap: final #{client.responses[-1].text.split('#')[1]}")
+    print(f"counter carried across the swap: final #{client.responses[-1][1].split('#')[1]}")
     system.shutdown()
 
 

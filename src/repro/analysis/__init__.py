@@ -1,4 +1,4 @@
-"""Architecture analysis for the component model: six coordinated passes.
+"""Architecture analysis for the component model: seven coordinated passes.
 
 1. **AST lint** (:mod:`.ast_lint`, rules ``A001``–``A005``) — inspects
    :class:`~repro.core.component.ComponentDefinition` subclasses without
@@ -23,9 +23,14 @@
    proves every event and component can survive a process boundary:
    payload serializability, isolation escapes, closure captures, state
    transferability, identity leaks, and compact-codec coverage.
+7. **Memory footprint** (:mod:`.mem`, rules ``M001``–``M006``) — makes
+   peers cheap enough for the million-peer simulation: slot coverage
+   over the event/component hierarchy, unbounded per-peer collections,
+   retained events, Address-interning opportunities, dynamic attributes
+   that defeat slots, and heavyweight event defaults.
 
 Command line: ``python -m repro.analysis src/repro examples`` for the
-lint, ``python -m repro.analysis {flow,dist,race} ...`` for the other
+lint, ``python -m repro.analysis {flow,dist,mem,race} ...`` for the other
 passes, and ``python -m repro.analysis all ...`` (:mod:`.aggregate`) for
 every static pass with one merged report and exit code.  Every CLI takes
 ``--sarif FILE`` (:mod:`.sarif`) for a SARIF 2.1.0 log.  See

@@ -1,9 +1,10 @@
 """``python -m repro.analysis all`` — every static pass, one exit code.
 
-Runs the AST lint (A*), the event-flow analysis (F*), and the
-distribution-readiness analysis (D*) over the same path set — sharing the
-AST parse cache, so each source file is parsed once — and merges the
-findings into a single sorted report.  With ``--wiring-examples DIR`` it
+Runs the AST lint (A*), the event-flow analysis (F*), the
+distribution-readiness analysis (D*), and the memory-footprint analysis
+(M*) over the same path set — sharing the AST parse cache, so each source
+file is parsed once — and merges the findings into a single sorted
+report.  With ``--wiring-examples DIR`` it
 additionally assembles every example script in ``DIR`` that declares a
 module-level ``WIRING_ROOT`` component class (under a ManualScheduler:
 built, verified, never started) and folds the wiring findings (W*) in.
@@ -27,6 +28,7 @@ from .config import AnalysisConfig, find_pyproject, load_config
 from .dist.checks import analyze_paths as dist_paths
 from .findings import Finding
 from .flow.graph import analyze_paths as flow_paths
+from .mem.checks import analyze_paths as mem_paths
 from .sarif import write_sarif
 
 #: Module-level attribute an example script sets to its root component
@@ -104,6 +106,7 @@ def run_all(
         "lint": lint_paths(paths, config=config),
         "flow": flow_paths(paths, config=config),
         "dist": dist_paths(paths, config=config),
+        "mem": mem_paths(paths, config=config),
     }
     if wiring_examples is not None:
         per_pass["wiring"] = verify_example_assemblies(wiring_examples, config)
@@ -143,8 +146,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis all",
         description=(
-            "Run every static analysis pass (lint A*, flow F*, dist D*) "
-            "over the tree with one merged report and one exit code; "
+            "Run every static analysis pass (lint A*, flow F*, dist D*, "
+            "mem M*) over the tree with one merged report and one exit code; "
             "--wiring-examples DIR folds in wiring verification (W*) of "
             "example assemblies."
         ),

@@ -108,6 +108,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .dist.cli import main as dist_main
 
         return dist_main(argv[1:])
+    if argv and argv[0] == "mem":
+        from .mem.cli import main as mem_main
+
+        return mem_main(argv[1:])
     if argv and argv[0] == "all":
         from .aggregate import main as all_main
 

@@ -16,6 +16,8 @@ grouped by pass:
   (:mod:`repro.consistency.checker`)
 - ``D0xx`` — distribution-readiness analysis: can every event and
   component survive a process boundary? (:mod:`repro.analysis.dist`)
+- ``M0xx`` — memory-footprint analysis: slot coverage, unbounded
+  collections, event retention, interning (:mod:`repro.analysis.mem`)
 
 A finding is suppressed at the source line with a trailing
 ``# repro: noqa[A001]`` comment (see :mod:`repro.analysis.config` for
@@ -217,6 +219,49 @@ register_rule(
     "registration, so it rides the pickle fallback at wire speed (register "
     "with @register_compact or justify the fallback)",
     "dist",
+)
+register_rule(
+    "M001", "missing-slots",
+    "an Event/Component/Port subclass whose entire base chain is already "
+    "slot-complete carries no __slots__ (dataclasses: slots=True), so every "
+    "instance pays a full __dict__ at million-peer scale",
+    "mem",
+)
+register_rule(
+    "M002", "unbounded-growth",
+    "a component attribute (set/dict/list) grows inside handlers with no "
+    "discard/del/clear/pop or wholesale-replacement site anywhere in the "
+    "class — per-peer state grows without bound over the run",
+    "mem",
+)
+register_rule(
+    "M003", "retained-event",
+    "a handler stores the delivered event object (or one of its mutable "
+    "payload fields) into self.*, keeping the payload graph alive and "
+    "aliasing it across deliveries; copy the fields out instead",
+    "mem",
+)
+register_rule(
+    "M004", "interning-opportunity",
+    "Address constructed inside a handler or loop; construct through "
+    "Address.intern() so repeated peer addresses share one instance "
+    "instead of allocating per event",
+    "mem",
+)
+register_rule(
+    "M005", "dynamic-attr-defeats-slots",
+    "a method outside __init__/__post_init__/dump_state/load_state creates "
+    "a self attribute that is not a declared field on a class that is (or "
+    "should be, per M001) slotted — the write would raise AttributeError "
+    "once slotted, or silently defeats the footprint win today",
+    "mem",
+)
+register_rule(
+    "M006", "heavyweight-default",
+    "an event field uses a mutable default_factory (dict/list/set), "
+    "allocating a fresh container per instance where an empty-tuple "
+    "sentinel (or a required field) suffices",
+    "mem",
 )
 
 

@@ -1,0 +1,481 @@
+"""The M001–M006 checks over the extraction model.
+
+Each check yields ``(rule, message, module, line, col, extra)`` tuples
+anchored in scanned modules only; :func:`analyze_paths` applies rule
+selection and ``# repro: noqa[M...]`` suppression and returns sorted
+:class:`~repro.analysis.findings.Finding` records — the same driver
+contract as the lint, flow, and dist passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from ..ast_lint import (
+    COMPONENT_ROOT,
+    EVENT_ROOT,
+    PORT_ROOT,
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _base_name,
+)
+from ..config import AnalysisConfig, is_suppressed
+from ..dist.checks import _payload_nodes
+from ..dist.model import _resolve_dotted, build_component_model
+from ..findings import Finding
+from .model import (
+    INIT_METHODS,
+    MemModel,
+    MUTABLE_CONTAINER_NAMES,
+    SlotInfo,
+    build_mem_model,
+    build_slot_info,
+)
+
+_Raw = tuple[str, str, ModuleInfo, int, Optional[int], dict]
+
+#: Method calls that grow a container / that shrink or bound one.
+GROW_METHODS = frozenset(
+    {"add", "append", "appendleft", "extend", "insert", "setdefault", "update"}
+)
+SHRINK_METHODS = frozenset(
+    {"pop", "popitem", "popleft", "remove", "discard", "clear"}
+)
+
+#: default_factory callables that allocate a mutable container per event.
+MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "Counter", "OrderedDict", "deque"}
+)
+
+
+def _class_info(node: ast.ClassDef, module: ModuleInfo, index: ProjectIndex) -> ClassInfo:
+    """The index record for ``node``, re-bound if the name was reused."""
+    info = index.classes.get(node.name)
+    if info is not None and info.node is node:
+        return info
+    rebound = ClassInfo(
+        node.name, module, node, tuple(b for b in map(_base_name, node.bases) if b)
+    )
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            rebound.methods[item.name] = item
+    return rebound
+
+
+def _slot_info_for(node: ast.ClassDef, info: ClassInfo, model: MemModel) -> SlotInfo:
+    cached = model.slots.get(node.name)
+    indexed = model.index.classes.get(node.name)
+    if cached is not None and indexed is not None and indexed.node is node:
+        return cached
+    return build_slot_info(info)
+
+
+def _self_attr(expr: ast.expr, selfname: str) -> Optional[str]:
+    """``self.attr`` -> ``"attr"``; anything else -> None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == selfname
+    ):
+        return expr.attr
+    return None
+
+
+def _first_param(method: ast.FunctionDef) -> Optional[str]:
+    args = method.args.posonlyargs + method.args.args
+    return args[0].arg if args else None
+
+
+# ------------------------------------------------------------------- M001
+
+
+def _in_m001_domain(name: str, index: ProjectIndex) -> bool:
+    if name in (EVENT_ROOT, COMPONENT_ROOT, PORT_ROOT):
+        return False
+    return index.is_event(name) or index.is_component(name) or index.is_port_type(name)
+
+
+def _check_missing_slots(
+    node: ast.ClassDef, module: ModuleInfo, model: MemModel, slot_info: SlotInfo
+) -> Iterator[_Raw]:
+    if slot_info.has_slots:
+        return
+    if not model.bases_complete(node.name):
+        return  # a dict-based base keeps the __dict__ anyway: no win
+    if slot_info.dynamic_writes:
+        return  # slotting would break these writes; M005 reports them
+    fix = (
+        "add slots=True to the @dataclass decorator"
+        if slot_info.is_dataclass
+        else "declare __slots__"
+    )
+    yield (
+        "M001",
+        f"{node.name} completes an already slotted base chain but has no "
+        f"__slots__, so every instance pays a full __dict__; {fix}",
+        module,
+        node.lineno,
+        node.col_offset,
+        {"class": node.name, "dataclass": slot_info.is_dataclass},
+    )
+
+
+# ------------------------------------------------------------------- M005
+
+
+def _check_dynamic_attrs(
+    node: ast.ClassDef, module: ModuleInfo, model: MemModel, slot_info: SlotInfo
+) -> Iterator[_Raw]:
+    if not (slot_info.has_slots or model.bases_complete(node.name)):
+        return
+    if not slot_info.dynamic_writes:
+        return
+    declared = model.declared_attrs(node.name)
+    for attr, line, method in slot_info.dynamic_writes:
+        if declared is not None and attr in declared:
+            continue  # declared by a base; the write does not defeat slots
+        state = "is slotted" if slot_info.has_slots else "should be slotted (M001)"
+        yield (
+            "M005",
+            f"{node.name}.{method} creates attribute self.{attr} outside "
+            f"__init__/dump_state, but {node.name} {state}; declare the "
+            "attribute as a field or move the write into __init__",
+            module,
+            line,
+            None,
+            {"class": node.name, "attr": attr, "method": method},
+        )
+
+
+# ------------------------------------------------------------------- M006
+
+
+def _mutable_factory(value: ast.expr) -> Optional[str]:
+    """Name of a mutable default_factory in a ``field(...)`` call, or None."""
+    if not (isinstance(value, ast.Call) and _base_name(value.func) == "field"):
+        return None
+    for kw in value.keywords:
+        if kw.arg != "default_factory":
+            continue
+        name = _base_name(kw.value) if not isinstance(kw.value, ast.Lambda) else None
+        if name in MUTABLE_FACTORIES:
+            return name
+        if isinstance(kw.value, ast.Lambda):
+            body = kw.value.body
+            if isinstance(body, (ast.Dict, ast.DictComp)):
+                return "dict"
+            if isinstance(body, (ast.List, ast.ListComp)):
+                return "list"
+            if isinstance(body, (ast.Set, ast.SetComp)):
+                return "set"
+            if isinstance(body, ast.Call):
+                inner = _base_name(body.func)
+                if inner in MUTABLE_FACTORIES:
+                    return inner
+    return None
+
+
+def _check_heavy_defaults(
+    node: ast.ClassDef, module: ModuleInfo, model: MemModel
+) -> Iterator[_Raw]:
+    for item in node.body:
+        if not (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and item.value is not None
+        ):
+            continue
+        factory = _mutable_factory(item.value)
+        if factory is None:
+            continue
+        yield (
+            "M006",
+            f"event field {node.name}.{item.target.id} defaults to a fresh "
+            f"{factory}() per instance; an empty-tuple sentinel (or a "
+            "required field) avoids the per-event allocation",
+            module,
+            item.lineno,
+            None,
+            {"event": node.name, "field": item.target.id, "factory": factory},
+        )
+
+
+# ------------------------------------------------------------------- M002
+
+
+def _growth_sites(
+    method: ast.FunctionDef, selfname: str, mutable_attrs: Iterable[str]
+) -> Iterator[tuple[str, int]]:
+    attrs = set(mutable_attrs)
+    for stmt in ast.walk(method):
+        if isinstance(stmt, ast.Call):
+            fn = stmt.func
+            if isinstance(fn, ast.Attribute) and fn.attr in GROW_METHODS:
+                attr = _self_attr(fn.value, selfname)
+                if attr in attrs:
+                    yield attr, stmt.lineno
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value, selfname)
+                    if attr in attrs:
+                        yield attr, stmt.lineno
+
+
+def _shrink_attrs(info: ClassInfo) -> set[str]:
+    """Attrs with a discard/del/clear/pop or replacement site in the class."""
+    out: set[str] = set()
+    for method in info.methods.values():
+        selfname = _first_param(method)
+        if selfname is None:
+            continue
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Call):
+                fn = stmt.func
+                if isinstance(fn, ast.Attribute) and fn.attr in SHRINK_METHODS:
+                    attr = _self_attr(fn.value, selfname)
+                    if attr is not None:
+                        out.add(attr)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    base = (
+                        target.value if isinstance(target, ast.Subscript) else target
+                    )
+                    attr = _self_attr(base, selfname)
+                    if attr is not None:
+                        out.add(attr)
+            elif isinstance(stmt, ast.Assign) and method.name != "__init__":
+                # wholesale replacement bounds the old container's growth;
+                # covers tuple unpacks like ``old, self.x = self.x, []``
+                for target in stmt.targets:
+                    elts = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for elt in elts:
+                        attr = _self_attr(elt, selfname)
+                        if attr is not None:
+                            out.add(attr)
+    return out
+
+
+def _check_unbounded_growth(
+    node: ast.ClassDef, module: ModuleInfo, model: MemModel, info: ClassInfo
+) -> Iterator[_Raw]:
+    comp = build_component_model(info, model.index)
+    if not comp.mutable_attrs:
+        return
+    handlers = model.handlers_of(node.name) - INIT_METHODS
+    shrunk = _shrink_attrs(info)
+    reported: set[str] = set()
+    for name in sorted(handlers):
+        method = info.methods.get(name)
+        if method is None:
+            continue
+        selfname = _first_param(method)
+        if selfname is None:
+            continue
+        for attr, line in _growth_sites(method, selfname, comp.mutable_attrs):
+            if attr in shrunk or attr in reported:
+                continue
+            reported.add(attr)
+            yield (
+                "M002",
+                f"self.{attr} (mutable container assigned at line "
+                f"{comp.mutable_attrs[attr]}) grows in handler {name} but "
+                f"{node.name} never discards, deletes, clears, or replaces "
+                "it — per-peer state grows without bound; add an eviction "
+                "or TTL site",
+                module,
+                line,
+                None,
+                {"class": node.name, "attr": attr, "handler": name},
+            )
+
+
+# ------------------------------------------------------------------- M003
+
+
+def _check_retained_event(
+    node: ast.ClassDef, module: ModuleInfo, model: MemModel, info: ClassInfo
+) -> Iterator[_Raw]:
+    handlers = model.handlers_of(node.name) - INIT_METHODS
+    for name in sorted(handlers):
+        method = info.methods.get(name)
+        if method is None:
+            continue
+        selfname = _first_param(method)
+        handler_info = info.handlers.get(name)
+        param = handler_info.event_param if handler_info is not None else None
+        if selfname is None or param is None or param == selfname:
+            continue
+        events = model.events_of_handler(node.name, name)
+        mutable_fields: set[str] = set()
+        for event in events:
+            mutable_fields |= model.mutable_fields(event)
+
+        def stored_values(stmt: ast.stmt) -> Iterator[ast.expr]:
+            """Expressions this statement stores into self.* state."""
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                    call = stmt.value
+                    fn = call.func
+                    if (
+                        isinstance(fn, ast.Attribute)
+                        and fn.attr in GROW_METHODS
+                        and _self_attr(fn.value, selfname) is not None
+                    ):
+                        yield from call.args
+                return
+            for target in targets:
+                base = target.value if isinstance(target, ast.Subscript) else target
+                if _self_attr(base, selfname) is not None:
+                    yield value
+                    return
+
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            for value in stored_values(stmt):
+                for sub, shielded in _payload_nodes(value):
+                    if shielded:
+                        continue
+                    if isinstance(sub, ast.Name) and sub.id == param:
+                        yield (
+                            "M003",
+                            f"handler {name} stores the delivered event "
+                            f"({param}) into self.* — the whole payload "
+                            "graph stays alive and aliases across "
+                            "deliveries; copy the needed fields out",
+                            module,
+                            sub.lineno,
+                            sub.col_offset,
+                            {"class": node.name, "handler": name},
+                        )
+                    elif (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == param
+                        and sub.attr in mutable_fields
+                    ):
+                        yield (
+                            "M003",
+                            f"handler {name} stores mutable payload field "
+                            f"{param}.{sub.attr} into self.* by reference; "
+                            "sender and later deliveries alias it — copy "
+                            "with tuple()/dict() at the store site",
+                            module,
+                            sub.lineno,
+                            sub.col_offset,
+                            {"class": node.name, "handler": name, "field": sub.attr},
+                        )
+
+
+# ------------------------------------------------------------------- M004
+
+
+def _is_address_ctor(call: ast.Call, module: ModuleInfo) -> bool:
+    dotted = _resolve_dotted(call.func, module)
+    if dotted is None:
+        return False
+    parts = dotted.split(".")
+    return parts[-1] == "Address" and (len(parts) == 1 or parts[-2] == "address")
+
+
+def _loop_node_ids(method: ast.FunctionDef) -> set[int]:
+    out: set[int] = set()
+    for node in ast.walk(method):
+        if isinstance(
+            node,
+            (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+             ast.DictComp, ast.GeneratorExp),
+        ):
+            out.update(id(sub) for sub in ast.walk(node))
+    return out
+
+
+def _check_interning(
+    node: ast.ClassDef, module: ModuleInfo, model: MemModel, info: ClassInfo
+) -> Iterator[_Raw]:
+    handlers = model.handlers_of(node.name) - INIT_METHODS
+    for method in info.methods.values():
+        if method.name in INIT_METHODS:
+            continue
+        in_handler = method.name in handlers
+        loop_ids = _loop_node_ids(method)
+        for call in ast.walk(method):
+            if not isinstance(call, ast.Call) or not _is_address_ctor(call, module):
+                continue
+            if not in_handler and id(call) not in loop_ids:
+                continue
+            where = (
+                f"handler {method.name}" if in_handler else f"a loop in {method.name}"
+            )
+            yield (
+                "M004",
+                f"Address(...) constructed inside {where}; repeated peer "
+                "addresses should share one instance — construct through "
+                "Address.intern(...) instead",
+                module,
+                call.lineno,
+                call.col_offset,
+                {"class": node.name, "method": method.name},
+            )
+
+
+# ----------------------------------------------------------------- driver
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    config: Optional[AnalysisConfig] = None,
+) -> list[Finding]:
+    """Run the mem pass over files/directories; returns sorted findings."""
+    config = config or AnalysisConfig()
+    model, scanned = build_mem_model(paths, config)
+    index = model.index
+
+    raw: list[_Raw] = []
+    for module in scanned.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _class_info(node, module, index)
+            if _in_m001_domain(node.name, index):
+                slot_info = _slot_info_for(node, info, model)
+                raw.extend(_check_missing_slots(node, module, model, slot_info))
+                raw.extend(_check_dynamic_attrs(node, module, model, slot_info))
+            if index.is_event(node.name) and node.name != EVENT_ROOT:
+                raw.extend(_check_heavy_defaults(node, module, model))
+            if index.is_component(node.name) and node.name != COMPONENT_ROOT:
+                raw.extend(_check_unbounded_growth(node, module, model, info))
+                raw.extend(_check_retained_event(node, module, model, info))
+                raw.extend(_check_interning(node, module, model, info))
+
+    findings: list[Finding] = []
+    for rule_id, message, module, line, col, extra in raw:
+        if not config.rule_enabled(rule_id):
+            continue
+        if is_suppressed(rule_id, module.line(line)):
+            continue
+        findings.append(
+            Finding(
+                rule=rule_id,
+                message=message,
+                file=str(module.path),
+                line=line,
+                col=col,
+                extra=extra,
+            )
+        )
+    findings.sort(key=lambda f: (f.file or "", f.line or 0, f.rule))
+    return findings

@@ -83,7 +83,7 @@ class ViewStatus(enum.Enum):
     DEAD = "dead"
 
 
-@dataclass
+@dataclass(slots=True)
 class View:
     primary: Address
     view_id: int
@@ -100,7 +100,7 @@ class View:
         return space.in_interval(key, self.range_start, self.range_end)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Install:
     """Primary-side in-flight view installation."""
 
@@ -113,7 +113,7 @@ class _Install:
     recipients: tuple[Address, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class _Op:
     """Coordinator-side operation state machine."""
 
@@ -131,30 +131,30 @@ class _Op:
     timeout_id: int = 0  # the current attempt's OpTimeout, cancelled on completion
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpTimeout(Timeout):
     op_id: int = 0
     attempt: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpRetry(Timeout):
     op_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallRetry(Timeout):
     """Retransmission timer for an in-flight view installation."""
 
     view_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GcTick(Timeout):
     """Periodic storage garbage collection."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReballotTick(Timeout):
     """Deferred re-attempt of a view installation after a ballot reject."""
 
@@ -186,6 +186,9 @@ class ConsistentAbd(ComponentDefinition):
         self.reballot_delay = 0.1
         self._reballot_floor = 0
         self._reballot_pending = False
+        #: highest view id among GC-evicted DEAD views: keeps _next_ballot
+        #: above every ballot this node has ever seen after eviction
+        self._ballot_ceiling = 0
 
         self.putget = self.provides(PutGet)
         self.network = self.requires(Network)
@@ -262,8 +265,19 @@ class ConsistentAbd(ComponentDefinition):
         """Drop records for ranges this node no longer replicates.
 
         Conservative: only runs when at least one active view includes us,
-        and keeps every key covered by *any* such view.
+        and keeps every key covered by *any* such view.  Also evicts DEAD
+        views (fenced, never consulted by blockers or old_views again);
+        their ballots survive in ``_ballot_ceiling`` so ``_next_ballot``
+        stays monotonic — without eviction ``views`` grows with every
+        primary this replica has ever seen.
         """
+        for primary in [
+            p for p, view in self.views.items() if view.status is ViewStatus.DEAD
+        ]:
+            self._ballot_ceiling = max(
+                self._ballot_ceiling, self.views[primary].view_id
+            )
+            del self.views[primary]
         covered = [
             view
             for view in self.views.values()
@@ -281,7 +295,10 @@ class ConsistentAbd(ComponentDefinition):
 
     @handles(RingNeighbors)
     def on_neighbors(self, event: RingNeighbors) -> None:
-        self._neighbors = event
+        # Latest-snapshot cache: RingNeighbors is frozen with tuple/Address
+        # payloads, each delivery replaces the previous reference, and
+        # _desired_view reads several fields — retention is the point here.
+        self._neighbors = event  # repro: noqa[M003]
         self._maybe_install_view()
 
     def _desired_view(self) -> Optional[tuple[tuple[Address, ...], int, int]]:
@@ -315,7 +332,7 @@ class ConsistentAbd(ComponentDefinition):
         """A view id above every overlapping view this node has ever seen."""
         known = self._overlapping_views(range_start, range_end)
         base = max((view.view_id for view in known), default=0)
-        return max(base, self._reballot_floor) + 1
+        return max(base, self._reballot_floor, self._ballot_ceiling) + 1
 
     def _maybe_install_view(self) -> None:
         desired = self._desired_view()

@@ -54,7 +54,7 @@ from .key import KeySpace
 from .ring import CatsRing
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RejoinTick(Timeout):
     """Re-join attempt after the local ring collapsed (e.g. a partition)."""
 
@@ -75,7 +75,7 @@ class NodeStatusProvider(ComponentDefinition):
         self.trigger(StatusSnapshotEnd(), self.port)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CatsConfig:
     """Tunables for one CATS node."""
 

@@ -28,7 +28,7 @@ from .events import (
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientPut(NetworkControlMessage):
     key: int = 0
     value: object = None
@@ -36,14 +36,14 @@ class ClientPut(NetworkControlMessage):
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientGet(NetworkControlMessage):
     key: int = 0
     op_id: int = 0
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientPutReply(NetworkControlMessage):
     op_id: int = 0
     key: int = 0
@@ -52,7 +52,7 @@ class ClientPutReply(NetworkControlMessage):
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientGetReply(NetworkControlMessage):
     op_id: int = 0
     key: int = 0

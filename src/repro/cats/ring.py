@@ -47,17 +47,17 @@ from .key import KeySpace
 MAX_LOOKUP_HOPS = 512
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StabilizeTick(Timeout):
     """Internal stabilization period."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinRetry(Timeout):
     """Internal join retry timeout."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LookupRetry(Timeout):
     """Internal lookup retransmission timeout."""
 

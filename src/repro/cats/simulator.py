@@ -47,21 +47,21 @@ from .node import CatsConfig, CatsNode
 # ------------------------------------------------------- experiment events
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinNode(Event):
     """Create and start a node with ring id ``node_id``."""
 
     node_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailNode(Event):
     """Crash the alive node owning ``node_id`` (its successor, wrapping)."""
 
     node_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LookupCmd(Event):
     """Issue a ring lookup for ``key`` from the node owning ``node_id``."""
 
@@ -69,14 +69,14 @@ class LookupCmd(Event):
     key: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PutCmd(Event):
     node_id: int
     key: int
     value: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetCmd(Event):
     node_id: int
     key: int
@@ -118,7 +118,7 @@ class SimulatedCatsHost(ComponentDefinition):
         self.connect(self.node.provided(PutGet), self.putget)
 
 
-@dataclass
+@dataclass(slots=True)
 class ExperimentStats:
     """What the driver observed (virtual or wall-clock time units)."""
 

@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 from .key import KeySpace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """One register record: value plus its logical write timestamp."""
 

@@ -41,7 +41,9 @@ class CatsWebApplication(ComponentDefinition):
 
     @handles(WebRequest)
     def on_web_request(self, request: WebRequest) -> None:
-        self._waiting.append(request)
+        # Queued only until the in-flight status snapshot completes; the
+        # whole list is handed off (and reset) in on_snapshot_end.
+        self._waiting.append(request)  # repro: noqa[M003]
         if len(self._waiting) == 1:
             self._collected.clear()
             self.trigger(StatusRequest(), self.status)

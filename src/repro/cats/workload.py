@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkloadSpec:
     """A key-value workload: key range, read ratio, value size, skew."""
 
@@ -17,7 +17,7 @@ class WorkloadSpec:
     zipf_s: float = 0.0  # 0: uniform keys; >0: zipf-skewed popularity
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkloadOp:
     kind: str  # "get" | "put"
     key: int

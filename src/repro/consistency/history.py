@@ -14,7 +14,7 @@ from dataclasses import dataclass
 NOT_FOUND = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """One register operation with its real-time interval."""
 

@@ -41,7 +41,27 @@ _race_channel = None
 
 
 class Channel:
-    """A FIFO, bidirectional, reconfigurable link between two port faces."""
+    """A FIFO, bidirectional, reconfigurable link between two port faces.
+
+    Channels are the single largest object population of a big simulation
+    (every connect allocates one), so the footprint matters: the class is
+    slotted, and the reconfiguration queue and pruning cache — needed only
+    on held/unplugged channels and walker-mode dispatch respectively — are
+    allocated lazily on first use.
+    """
+
+    __slots__ = (
+        "port_type",
+        "positive_end",
+        "negative_end",
+        "selector",
+        "prune",
+        "held",
+        "destroyed",
+        "_queue",
+        "_lock",
+        "_prune_cache",
+    )
 
     def __init__(
         self,
@@ -58,15 +78,19 @@ class Channel:
         self.prune = prune
         self.held = False
         self.destroyed = False
-        self._queue: deque[tuple[Event, Direction]] = deque()
+        #: Reconfiguration queue; None until the first event is held back.
+        self._queue: Optional[deque[tuple[Event, Direction]]] = None
         self._lock = threading.RLock()
         # Walker-mode pruning cache, stamped with the generation it was
         # built under; a stale stamp drops the whole table so entries for
         # event types that never recur cannot accumulate.  Compiled
         # dispatch does not use it (pruning is baked into the plans).
-        self._prune_cache: tuple[int, dict[tuple[type[Event], Direction], bool]] = (-1, {})
-        provider.channels.append(self)
-        requirer.channels.append(self)
+        # None until the first walker-mode reachability query.
+        self._prune_cache: Optional[
+            tuple[int, dict[tuple[type[Event], Direction], bool]]
+        ] = None
+        provider.attach_channel(self)
+        requirer.attach_channel(self)
         _bump_generation(provider)
 
     # ------------------------------------------------------------------ ends
@@ -93,6 +117,8 @@ class Channel:
         with self._lock:
             destination = self.other_end(source)
             if self.held or destination is None:
+                if self._queue is None:
+                    self._queue = deque()
                 self._queue.append((event, direction))
                 return
         system = destination.owner.system
@@ -116,7 +142,7 @@ class Channel:
         if system is None or not system.prune_channels:
             return True
         generation = system.generation
-        stamp, cache = self._prune_cache
+        stamp, cache = self._prune_cache or (-1, None)
         if stamp != generation:
             cache = {}
             self._prune_cache = (generation, cache)
@@ -208,10 +234,14 @@ class Channel:
                 if self.negative_end is not None:
                     raise KConnectionError("negative end of channel is already plugged")
                 self.negative_end = face
-            face.channels.append(self)
+            face.attach_channel(self)
             hook = _race_channel
             if hook is not None:
-                hook("plug", self, tuple(event for event, _ in self._queue))
+                hook(
+                    "plug",
+                    self,
+                    tuple(event for event, _ in (self._queue or ())),
+                )
         _bump_generation(face)
 
     def destroy(self) -> None:
@@ -224,17 +254,17 @@ class Channel:
                     _bump_generation(end)
             self.positive_end = None
             self.negative_end = None
-            self._queue.clear()
+            self._queue = None
 
     @property
     def queued(self) -> int:
         """Number of events currently queued (held or unplugged)."""
         with self._lock:
-            return len(self._queue)
+            return len(self._queue) if self._queue is not None else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "held" if self.held else ("destroyed" if self.destroyed else "live")
-        return f"<Channel {self.port_type.__name__} {state} queued={len(self._queue)}>"
+        return f"<Channel {self.port_type.__name__} {state} queued={self.queued}>"
 
 
 def connect(

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import logging
 import threading
-from collections import deque
 from typing import TYPE_CHECKING, NamedTuple, Optional, TypeVar
 
 from . import channel as channel_mod
@@ -171,7 +170,7 @@ class ComponentDefinition:
     ) -> None:
         """Subscribe a handler to a port face (own port or a child's)."""
         subscription = make_subscription(handler, face, self._core, event_type)
-        face.subscriptions.append(subscription)
+        face.attach_subscription(subscription)
         face._handlers = None
         self._core.note_init_subscription(subscription, face)
         self.system.bump_generation()
@@ -281,7 +280,36 @@ class Component:
 
 
 class ComponentCore:
-    """Runtime state of one component instance."""
+    """Runtime state of one component instance.
+
+    Slotted: one core exists per component, and a large simulation holds
+    tens of thousands of them — dropping the per-instance ``__dict__``
+    (and keeping the rarely-used admission buffer a plain list) is a
+    measurable share of the bytes/peer budget (see
+    ``benchmarks/bench_footprint.py``).
+    """
+
+    __slots__ = (
+        "id",
+        "system",
+        "parent",
+        "name",
+        "children",
+        "ports",
+        "control_port",
+        "state",
+        "_exec_state",
+        "_queue",
+        "_qhead",
+        "_buffer",
+        "_lock",
+        "_single_threaded",
+        "_needs_init",
+        "_init_received",
+        "_fast_admit",
+        "component",
+        "definition",
+    )
 
     def __init__(
         self,
@@ -299,19 +327,32 @@ class ComponentCore:
         self.children: list[ComponentCore] = []
         self.ports: dict[tuple[type[PortType], bool], Port] = {}
         self.control_port = Port(ControlPort, self, is_provided=True, is_control=True)
-        # Built-in life-cycle subscriptions: Start/Stop/Init must be
+        # Built-in life-cycle subscription: Start/Stop/Init must be
         # processed even when the definition subscribes no handler for them.
-        # These bypass note_init_subscription so they do not trip the
-        # Init-first guarantee.
-        for lifecycle_type in (Init, Start, Stop):
-            self.control_port.inside.subscriptions.append(
-                Subscription(_noop_handler, lifecycle_type, self.control_port.inside, self)
-            )
+        # One Event-typed subscription covers all three — the control
+        # port's type check restricts inside-face traffic to exactly the
+        # lifecycle events, and Fault travels in the positive direction
+        # (outside faces), so nothing else can ever match it.  It bypasses
+        # note_init_subscription so it does not trip the Init-first
+        # guarantee.
+        self.control_port.inside.attach_subscription(
+            Subscription(_noop_handler, Event, self.control_port.inside, self)
+        )
 
         self.state = LifecycleState.PASSIVE
         self._exec_state = ExecutionState.IDLE
-        self._queue: deque[WorkItem] = deque()
-        self._buffer: deque[WorkItem] = deque()
+        #: The FIFO work queue: a plain list with a head index rather than
+        #: a deque — an empty list is a fraction of an empty deque's size,
+        #: and one queue exists per component.  ``_qhead`` points at the
+        #: next item; the list is reset whenever the queue drains (the
+        #: common case: deliver one, execute one), so the dead prefix
+        #: cannot grow unboundedly.
+        self._queue: list[WorkItem] = []
+        self._qhead = 0
+        #: Inadmissible items parked until a lifecycle transition; a plain
+        #: list, not a deque — it only ever appends, drains wholesale in
+        #: _flush_buffer_locked, and sits empty for a component's lifetime.
+        self._buffer: list[WorkItem] = []
         self._lock = threading.Lock()
         # Under a single-threaded scheduler (deterministic simulation) every
         # state transition happens on the driving thread, so the hot paths
@@ -449,6 +490,25 @@ class ComponentCore:
         if must_schedule:
             self.system.component_ready(self)
 
+    def _popleft(self) -> WorkItem:
+        """Pop the next work item; reset the list whenever it drains.
+
+        The invariant maintained here — the list is truthy iff live items
+        remain — is what lets every ``if self._queue:`` emptiness check
+        stay a plain truth test.
+        """
+        queue = self._queue
+        head = self._qhead
+        item = queue[head]
+        head += 1
+        if head == len(queue):
+            queue.clear()
+            self._qhead = 0
+        else:
+            queue[head - 1] = None  # type: ignore[call-overload]  # release the ref
+            self._qhead = head
+        return item
+
     def _admissible(self, item: WorkItem) -> bool:
         """May this work item enter the executable queue right now?"""
         if self._needs_init and not self._init_received:
@@ -490,7 +550,7 @@ class ComponentCore:
             with self._lock:
                 if self.state in stopped_states or not self._queue:
                     break
-                item = self._queue.popleft()
+                item = self._popleft()
             self._execute_item(item)
             executed += 1
 
@@ -520,7 +580,7 @@ class ComponentCore:
         queue = self._queue
         state = self.state
         if queue and state is not _DESTROYED and state is not _FAULTY:
-            item = queue.popleft()
+            item = self._popleft()
             if self.system.tracer is not None or _race_observer is not None:
                 self._execute_item(item)  # instrumented path (trace/race)
             else:
@@ -657,8 +717,9 @@ class ComponentCore:
         so that reconfiguration drops no triggered events.
         """
         with self._lock:
-            items = [*self._queue, *self._buffer]
+            items = [*self._queue[self._qhead :], *self._buffer]
             self._queue.clear()
+            self._qhead = 0
             self._buffer.clear()
         return items
 
@@ -684,6 +745,7 @@ class ComponentCore:
             self.state = LifecycleState.DESTROYED
             self._fast_admit = False
             self._queue.clear()
+            self._qhead = 0
             self._buffer.clear()
         for child in tuple(self.children):
             child.destroy()
@@ -692,7 +754,7 @@ class ComponentCore:
             for face in (port.inside, port.outside):
                 for ch in tuple(face.channels):
                     ch.destroy()
-                face.subscriptions.clear()
+                face.subscriptions = ()  # back to the shared empty sentinel
                 face._plans = None  # drop compiled routes rooted here
         try:
             self.definition.tear_down()
@@ -710,7 +772,7 @@ class ComponentCore:
     @property
     def pending_events(self) -> int:
         with self._lock:
-            return len(self._queue) + len(self._buffer)
+            return len(self._queue) - self._qhead + len(self._buffer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ComponentCore {self.name} {self.state.value}>"

@@ -149,8 +149,15 @@ class PortFace:
         self.port = port
         self.is_inside = is_inside
         self.is_control = port.is_control
-        self.subscriptions: list["Subscription"] = []
-        self.channels: list["Channel"] = []
+        #: Both start as the shared empty tuple and are swapped for a real
+        #: list on first attach (see ``attach_subscription`` /
+        #: ``attach_channel``).  Most faces never gain a subscription or a
+        #: channel, and a big simulation holds hundreds of thousands of
+        #: faces — the sentinel saves one list allocation per empty slot.
+        #: Read sites only iterate / test truthiness / use ``in``, which a
+        #: tuple serves identically.
+        self.subscriptions: "list[Subscription] | tuple" = ()
+        self.channels: "list[Channel] | tuple" = ()
         #: Compiled-dispatch cache: ``(generation, {(event_type, direction):
         #: DeliveryPlan})`` or None; managed by :mod:`repro.core.routing`.
         self._plans: tuple[int, dict] | None = None
@@ -184,6 +191,20 @@ class PortFace:
         #: None; reset whenever ``subscriptions`` mutates (see
         #: ComponentCore.subscribe/unsubscribe).
         self._handlers: dict | None = None
+
+    def attach_subscription(self, subscription: "Subscription") -> None:
+        """Append to ``subscriptions``, materialising the list on first use."""
+        current = self.subscriptions
+        if type(current) is tuple:
+            self.subscriptions = current = []
+        current.append(subscription)
+
+    def attach_channel(self, channel: "Channel") -> None:
+        """Append to ``channels``, materialising the list on first use."""
+        current = self.channels
+        if type(current) is tuple:
+            self.channels = current = []
+        current.append(channel)
 
     @property
     def owner(self) -> "ComponentCore":

@@ -83,12 +83,17 @@ class DeliveryPlan:
         self.event_type = event_type
         self.direction = direction
         self.generation = generation
-        self.steps = steps
         if any(tag == LIVE for tag, _, _ in steps):
+            self.steps = steps
             self.deliveries: tuple | None = None
         else:
             # Prebound receive methods: one attribute lookup less per
-            # delivered event on the tag-free loop.
+            # delivered event on the tag-free loop.  The tagged triples are
+            # redundant here (the owner is recoverable as
+            # ``receive.__self__``), so the all-DELIVER case — nearly every
+            # plan — stores only the prebound form: plan tables are a large
+            # slice of a big simulation's per-peer footprint.
+            self.steps = ()
             self.deliveries = tuple(
                 (owner.receive_event, face) for _, owner, face in steps
             )
@@ -109,6 +114,8 @@ class DeliveryPlan:
 
     def delivery_targets(self) -> list[tuple["ComponentCore", "PortFace"]]:
         """The inlined ``(owner, face)`` pairs (excludes live-step routes)."""
+        if self.deliveries is not None:
+            return [(receive.__self__, face) for receive, face in self.deliveries]
         return [(a, b) for tag, a, b in self.steps if tag == DELIVER]
 
     def live_channels(self) -> list[object]:
@@ -116,8 +123,11 @@ class DeliveryPlan:
         return [a for tag, a, _ in self.steps if tag == LIVE]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        deliver = sum(1 for tag, _, _ in self.steps if tag == DELIVER)
-        live = len(self.steps) - deliver
+        if self.deliveries is not None:
+            deliver, live = len(self.deliveries), 0
+        else:
+            deliver = sum(1 for tag, _, _ in self.steps if tag == DELIVER)
+            live = len(self.steps) - deliver
         return (
             f"<DeliveryPlan {self.event_type.__name__}/{self.direction.value} "
             f"gen={self.generation} deliver={deliver} live={live}>"

@@ -58,9 +58,27 @@ class Address:
         return f"{self.host}:{self.port}/{self.node_id}"
 
     def with_id(self, node_id: int) -> "Address":
-        return Address(self.host, self.port, node_id)
+        return Address(self.host, self.port, node_id).intern()
+
+    def intern(self) -> "Address":
+        """Return the canonical instance for this (host, port, node_id).
+
+        A million-peer simulation re-materialises the same few thousand
+        addresses over and over (codec decodes, ring lookups, failure
+        detector pings); interning collapses them to one object each, so
+        equality takes the identity fast path and the cached ``__hash__``
+        is computed once per identity instead of once per copy.  The
+        ``setdefault`` is a single atomic dict op under the GIL, safe for
+        the work-stealing scheduler's worker threads.
+        """
+        return _INTERNED.setdefault(self, self)
+
+
+#: Canonical Address per identity; unbounded by design — its size is the
+#: number of distinct node identities, not the message rate.
+_INTERNED: dict[Address, Address] = {}
 
 
 def local_address(port: int, node_id: Optional[int] = None) -> Address:
     """Convenience constructor for in-process / localhost addresses."""
-    return Address("127.0.0.1", port, node_id)
+    return Address("127.0.0.1", port, node_id).intern()

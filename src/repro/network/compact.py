@@ -100,7 +100,10 @@ def _unpack_address(view: memoryview, offset: int) -> tuple[Address, int]:
     if flag:
         (node_id,) = _I64.unpack_from(view, offset)
         offset += _I64.size
-    return Address(host, port, node_id), offset
+    # Interning here collapses every decoded copy of a peer's identity to
+    # one canonical object: the decode path runs once per received message,
+    # and downstream dict/set lookups then hit the identity fast path.
+    return Address(host, port, node_id).intern(), offset
 
 
 def _scalar_codec(fmt: struct.Struct):

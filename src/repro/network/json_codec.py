@@ -68,7 +68,8 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, dict):
         if "_a" in value:
             host, port, node_id = value["_a"]
-            return Address(host, port, node_id)
+            # One canonical Address per decoded identity (see Address.intern).
+            return Address(host, port, node_id).intern()
         if "_b" in value:
             return base64.b64decode(value["_b"])
         if "_l" in value:

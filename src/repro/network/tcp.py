@@ -26,7 +26,7 @@ from .message import Message, Network, NetworkControlMessage
 from .serialization import FrameCodec, SerializationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Hello(NetworkControlMessage):
     """Handshake frame: tells the acceptor the dialer's listen address."""
 

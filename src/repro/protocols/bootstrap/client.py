@@ -32,12 +32,12 @@ from .events import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeepAliveTick(Timeout):
     """Internal keep-alive period."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRetry(Timeout):
     """Retry GetPeers when ring creation was not granted to us."""
 

@@ -14,19 +14,19 @@ from ...network.message import NetworkControlMessage
 # ------------------------------------------------------------- port events
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BootstrapRequest(Event):
     """Ask the bootstrap service for a set of alive peers."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BootstrapResponse(Event):
     """Alive peers returned by the bootstrap server."""
 
     peers: tuple[Address, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BootstrapDone(Event):
     """The node finished joining; start advertising it via keep-alives."""
 
@@ -43,13 +43,13 @@ class Bootstrap(PortType):
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetPeersRequest(NetworkControlMessage):
     max_peers: int = 16
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetPeersResponse(NetworkControlMessage):
     """Alive peers; with none, ``create_ring`` says whether the requester
     may create a fresh ring (granted to one node at a time, so concurrent
@@ -60,6 +60,6 @@ class GetPeersResponse(NetworkControlMessage):
 
 
 @register_compact
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeepAlive(NetworkControlMessage):
     """Periodic liveness beacon from a joined node to the server."""

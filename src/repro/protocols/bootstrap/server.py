@@ -17,7 +17,7 @@ from ...timer.port import SchedulePeriodicTimeout, Timeout, Timer, new_timeout_i
 from .events import GetPeersRequest, GetPeersResponse, KeepAlive
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictionSweep(Timeout):
     """Internal periodic eviction check."""
 

@@ -18,7 +18,7 @@ from ...timer.port import SchedulePeriodicTimeout, Timeout, Timer, new_timeout_i
 from .port import Status, StatusRequest, StatusResponse
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 # Low-rate telemetry (one report per period per node); the pickle
 # fallback is fine off the hot path, so no compact registration.
 class MonitorReport(NetworkControlMessage):  # repro: noqa[D006]
@@ -30,7 +30,7 @@ class MonitorReport(NetworkControlMessage):  # repro: noqa[D006]
         return {component: dict(items) for component, items in self.statuses}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReportTick(Timeout):
     """Internal reporting period."""
 
@@ -77,7 +77,9 @@ class MonitorClient(ComponentDefinition):
 
     @handles(StatusResponse)
     def on_status(self, response: StatusResponse) -> None:
-        self._latest[response.component] = dict(response.data)
+        # Keyed by component name and overwritten per snapshot: bounded by
+        # this node's component population, not by the event rate.
+        self._latest[response.component] = dict(response.data)  # repro: noqa[M002]
 
     @handles(ReportTick)
     def on_tick(self, _tick: ReportTick) -> None:

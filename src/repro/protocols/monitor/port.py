@@ -7,26 +7,26 @@ consumed by the per-node MonitorClient and the web front-end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...core.event import Event
 from ...core.port import PortType
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusRequest(Event):
     """Ask a component to report its current status."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusResponse(Event):
     """One component's status snapshot."""
 
     component: str
-    data: dict = field(default_factory=dict)
+    data: dict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusSnapshotEnd(Event):
     """Marks the end of one burst of StatusResponses (snapshot boundary)."""
 

@@ -20,7 +20,7 @@ from ..web.port import Web, WebRequest, WebResponse
 from .client import MonitorReport
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MonitorSweep(Timeout):
     """Internal staleness sweep."""
 

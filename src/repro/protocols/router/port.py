@@ -15,7 +15,7 @@ from ...core.port import PortType
 from ...network.address import Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Resolve(Event):
     """Resolve the node responsible for ``key``."""
 
@@ -23,7 +23,7 @@ class Resolve(Event):
     request_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Resolved(Event):
     """``node`` is (believed to be) responsible for ``key``."""
 
@@ -32,7 +32,7 @@ class Resolved(Event):
     request_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResolveFailed(Event):
     """No candidate is known for ``key`` (empty membership view)."""
 

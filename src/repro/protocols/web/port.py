@@ -20,7 +20,7 @@ def new_request_id() -> int:
     return next(_request_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WebRequest(Event):
     """One HTTP request routed into the component system."""
 
@@ -30,7 +30,7 @@ class WebRequest(Event):
     body: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WebResponse(Event):
     """The answer to a WebRequest (correlated by request_id)."""
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One executed event."""
 

@@ -117,6 +117,8 @@ def sample_for(tp):
         return tuple(sample_for(a) for a in args)
     if origin in (list, set, frozenset, dict):
         return origin()
+    if tp in (list, set, frozenset, dict, tuple):
+        return tp()
     if tp is int:
         return 7
     if tp is float:
@@ -202,6 +204,19 @@ def test_wire_safe_events_round_trip(cls):
     # Byte stability: re-encoding the decoded clone reproduces the
     # original wire image exactly.
     assert encode_event(clone) == payload
+
+
+def test_every_constructible_event_is_slotted():
+    """Tree-wide slotting (M001): no shipped event instance carries a
+    __dict__ — and the round-trip above proves slotting never broke
+    pickling (slotted dataclasses serialize via __getstate__, not the
+    instance dict)."""
+    carrying = [
+        f"{cls.__module__}.{cls.__name__}"
+        for cls in constructible_events()
+        if hasattr(build_sample(cls), "__dict__")
+    ]
+    assert carrying == [], f"events still paying for a __dict__: {carrying}"
 
 
 def test_round_trip_covers_most_of_the_tree():

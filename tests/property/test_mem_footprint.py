@@ -1,0 +1,148 @@
+"""Property oracle for the memory-footprint work (M001 and the harness).
+
+Two claims are pinned here:
+
+1. **Slotting shrinks** — for every object shape the M001 rule flags
+   (scalar-field events, Address-carrying messages, state records with
+   defaults), the ``__slots__`` twin of a ``__dict__`` class measurably
+   out-packs it under :mod:`tracemalloc`.  This is the semantic ground
+   truth behind M001: the rule is only worth firing if acting on it
+   actually saves bytes on this interpreter.
+
+2. **The bench harness measures sane values** — a small seeded Table-1
+   boot through :func:`benchmarks.bench_footprint.measure_footprint`
+   yields a formed ring, a plausible bytes/peer, and a near-zero
+   steady-state allocation rate (the dynamic counterpart of M002/M003).
+
+The full-scale gate (≥30% bytes/peer reduction at 1024 peers vs. the
+pre-slotting seed) lives in ``benchmarks/bench_footprint.py``; this file
+keeps the fast, always-on end of the oracle in tier-1.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import tracemalloc
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.event import Event
+from repro.network.address import Address
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from benchmarks.bench_footprint import measure_footprint  # noqa: E402
+
+# --------------------------------------------------------------- M001 twins
+#
+# Each pair is one fixture shape from the M001 corpus: identical fields,
+# one carrying a __dict__, one slotted.  Event's own ``__slots__`` keeps
+# the base layout fixed, so the delta is exactly the per-instance dict.
+
+
+class DictPing(Event):
+    def __init__(self, seq: int, payload: str) -> None:
+        self.seq = seq
+        self.payload = payload
+
+
+@dataclass(frozen=True, slots=True)
+class SlottedPing(Event):
+    seq: int
+    payload: str
+
+
+class DictTransfer(Event):
+    def __init__(self, source: Address, destination: Address, body: bytes) -> None:
+        self.source = source
+        self.destination = destination
+        self.body = body
+
+
+@dataclass(frozen=True, slots=True)
+class SlottedTransfer(Event):
+    source: Address
+    destination: Address
+    body: bytes
+
+
+class DictRecord:
+    def __init__(self, key: int, value: str = "", version: int = 0) -> None:
+        self.key = key
+        self.value = value
+        self.version = version
+
+
+@dataclass(slots=True)
+class SlottedRecord:
+    key: int
+    value: str = ""
+    version: int = 0
+
+
+ADDR = Address("10.0.0.1", 9000, 1).intern()
+
+SHAPES = [
+    ("scalar-event", lambda i: DictPing(i, "x"), lambda i: SlottedPing(i, "x")),
+    (
+        "address-message",
+        lambda i: DictTransfer(ADDR, ADDR, b""),
+        lambda i: SlottedTransfer(ADDR, ADDR, b""),
+    ),
+    ("state-record", lambda i: DictRecord(i), lambda i: SlottedRecord(i)),
+]
+
+
+def live_bytes_of(factory, count: int = 4096) -> int:
+    """Traced bytes retained by ``count`` instances of ``factory``."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        keep = [factory(i) for i in range(count)]
+        after, _ = tracemalloc.get_traced_memory()
+        assert len(keep) == count
+        return after - before
+    finally:
+        tracemalloc.stop()
+
+
+@pytest.mark.parametrize(
+    ("name", "dict_factory", "slotted_factory"),
+    SHAPES,
+    ids=[name for name, _, _ in SHAPES],
+)
+def test_slotted_twin_is_smaller(name, dict_factory, slotted_factory):
+    dict_bytes = live_bytes_of(dict_factory)
+    slotted_bytes = live_bytes_of(slotted_factory)
+    # The per-instance dict costs ~2x the slot storage on CPython 3.11+;
+    # require a solid margin, not just strict inequality.
+    assert slotted_bytes < dict_bytes * 0.8, (name, slotted_bytes, dict_bytes)
+
+
+def test_interned_address_is_shared():
+    """Address.intern() collapses equal addresses to one object, so the
+    per-message cost of an Address field is one pointer, not one record."""
+    a = Address("10.0.0.1", 9000, 1).intern()
+    b = Address("10.0.0.1", 9000, 1).intern()
+    assert a is b
+    assert a is ADDR
+
+
+# ----------------------------------------------------------- harness sanity
+
+
+def test_measure_footprint_sane_at_small_scale():
+    result = measure_footprint(24)
+    assert result["alive"] == 24
+    assert result["peers"] == 24
+    # Per-peer footprint: positive and far under the pre-slotting 256-peer
+    # baseline (small rings amortize less, so allow generous headroom).
+    assert 10_000 < result["bytes_per_peer"] < 250_000
+    # Steady state must not grow the live heap per event — M002/M003's
+    # dynamic counterpart.
+    assert result["steady_events"] > 0
+    assert result["net_blocks_per_event"] < 1.0

@@ -201,6 +201,39 @@ def test_decode_error_paths():
         codec.decode(b"\x00" + pickle.dumps("just a string"))
 
 
+# ---------------------------------------------- interning and slotting
+
+
+def test_decode_interns_addresses():
+    """Every Address a compact frame decodes — top-level, Optional, or
+    inside a tuple field — is the canonical interned instance, so a
+    million messages from one peer share one Address record."""
+    codec = CompactCodec()
+    message = _Kinds(
+        source=ADDR, destination=PEER, peer=ADDR, peers=(ADDR, PEER)
+    )
+    first = codec.decode(codec.encode(message))
+    second = codec.decode(codec.encode(message))
+    assert first.source is second.source
+    assert first.peer is second.peer
+    assert first.peers[0] is second.peers[0]
+    assert first.source is Address("127.0.0.1", 9000, 3).intern()
+    # and across codec instances (the cache is module-level)
+    assert CompactCodec().decode(codec.encode(message)).source is first.source
+
+
+def test_slotted_messages_round_trip_without_a_dict():
+    """The wire messages are ``slots=True`` dataclasses; the codec must
+    not depend on an instance ``__dict__`` on either side."""
+    codec = CompactCodec()
+    message = WriteRequest(source=ADDR, destination=PEER, key=42, value="x")
+    assert not hasattr(message, "__dict__")
+    clone = codec.decode(codec.encode(message))
+    assert not hasattr(clone, "__dict__")
+    assert clone == message
+    assert codec.encode(clone) == codec.encode(message)  # byte stability
+
+
 # ------------------------------------------------------------- framing
 
 

@@ -86,6 +86,16 @@ class TestJsonCodec:
         message = JsonHello(self.a, self.b, text="z" * 500)
         assert frame_codec.unframe(frame_codec.frame(message)).text == "z" * 500
 
+    def test_decode_interns_addresses(self):
+        """Decoded addresses collapse to the canonical interned instance:
+        N messages from one peer cost one Address record, not N."""
+        message = JsonHello(self.a, self.b, peers=(self.a,))
+        first = self.codec.decode(self.codec.encode(message))
+        second = self.codec.decode(self.codec.encode(message))
+        assert first.source is second.source
+        assert first.destination is second.destination
+        assert first.source is Address("127.0.0.1", 1, 1).intern()
+
 
 class DelayedNode(ComponentDefinition):
     def __init__(self, address: Address) -> None:
