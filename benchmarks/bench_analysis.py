@@ -1,10 +1,10 @@
-"""Full-tree analysis speed: the lint+flow+dist+mem run CI pays on every push.
+"""Full-tree analysis speed: the lint+flow+dist+mem+par run CI pays on every push.
 
-Times ``lint_paths``, ``flow.analyze_paths``, ``dist.analyze_paths``, and
-``mem.analyze_paths`` over ``src`` and ``examples`` — the exact work of
-the gating CI steps — plus the combined four-pass run, which exercises
-the shared AST parse cache (each source file must be parsed once, not
-once per pass).
+Times ``lint_paths``, ``flow.analyze_paths``, ``dist.analyze_paths``,
+``mem.analyze_paths``, and ``par.analyze_paths`` over ``src`` and
+``examples`` — the exact work of the gating CI steps — plus the combined
+five-pass run, which exercises the shared AST parse cache (each source
+file must be parsed once, not once per pass).
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py -q
 """
@@ -18,6 +18,7 @@ from repro.analysis.ast_lint import lint_paths
 from repro.analysis.dist import analyze_paths as dist_paths
 from repro.analysis.flow import analyze_paths as flow_paths
 from repro.analysis.mem import analyze_paths as mem_paths
+from repro.analysis.par import analyze_paths as par_paths
 
 ROOT = Path(__file__).resolve().parent.parent
 PATHS = [ROOT / "src", ROOT / "examples"]
@@ -39,6 +40,10 @@ def test_mem_full_tree(benchmark):
     benchmark(lambda: mem_paths(PATHS))
 
 
+def test_par_full_tree(benchmark):
+    benchmark(lambda: par_paths(PATHS))
+
+
 def test_all_passes_share_parses(benchmark):
     """The combined run: the later passes re-use every parse lint cached."""
 
@@ -46,14 +51,15 @@ def test_all_passes_share_parses(benchmark):
         lint_paths(PATHS)
         flow_paths(PATHS)
         dist_paths(PATHS)
-        return mem_paths(PATHS)
+        mem_paths(PATHS)
+        return par_paths(PATHS)
 
     benchmark(combined)
 
 
 def test_parse_cache_is_shared():
-    """Structural check: after a lint run, the flow, dist, and mem passes
-    perform zero fresh parses for the same (unchanged) file set."""
+    """Structural check: after a lint run, the flow, dist, mem, and par
+    passes perform zero fresh parses for the same (unchanged) file set."""
     ast_lint.clear_parse_cache()
     lint_paths(PATHS)
     parses = 0
@@ -72,8 +78,11 @@ def test_parse_cache_is_shared():
         dist_paths(PATHS)
         after_dist = parses
         mem_paths(PATHS)
+        after_mem = parses
+        par_paths(PATHS)
     finally:
         ast_lint._parse_cache = dict(counting)
     assert after_flow == 0, f"flow re-parsed {after_flow} files"
     assert after_dist == 0, f"dist re-parsed {after_dist - after_flow} files"
-    assert parses == 0, f"mem re-parsed {parses - after_dist} files"
+    assert after_mem == 0, f"mem re-parsed {after_mem - after_dist} files"
+    assert parses == 0, f"par re-parsed {parses - after_mem} files"

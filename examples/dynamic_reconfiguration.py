@@ -79,8 +79,17 @@ class Client(ComponentDefinition):
     def send(self, n: int) -> None:
         self.trigger(EchoReq(n), self.port)
 
+    def dump_state(self) -> list[tuple[int, str]]:
+        return list(self.responses)
 
-class Main(ComponentDefinition):
+    def load_state(self, state) -> None:
+        self.responses = list(state)
+
+
+# Assembly root: holds child Component handles, which are the unit of
+# shard placement — the root moves with its whole subtree (or not at
+# all), so section-2.6 migration hooks do not apply.
+class Main(ComponentDefinition):  # repro: noqa[P006]
     def __init__(self) -> None:
         super().__init__()
         self.server = self.create(EchoV1)

@@ -67,7 +67,10 @@ class NodeMain(ComponentDefinition):
         self.connect(fd.provided(FailureDetector), app.required(FailureDetector))
 
 
-class Main(ComponentDefinition):
+# Assembly root: holds child Component handles, which are the unit of
+# shard placement — the root moves with its whole subtree (or not at
+# all), so section-2.6 migration hooks do not apply.
+class Main(ComponentDefinition):  # repro: noqa[P006]
     """Hosts two nodes in one process (local stress-test mode, Fig 12)."""
 
     def __init__(self) -> None:

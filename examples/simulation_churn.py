@@ -58,7 +58,10 @@ def cats_lookup(node_key, key):
     return LookupCmd(node_key, key)
 
 
-class Main(ComponentDefinition):
+# Assembly root: holds child Component handles, which are the unit of
+# shard placement — the root moves with its whole subtree (or not at
+# all), so section-2.6 migration hooks do not apply.
+class Main(ComponentDefinition):  # repro: noqa[P006]
     """Root of the simulated world: hosts the CATS experiment driver."""
 
     def __init__(self) -> None:

@@ -103,6 +103,12 @@ class ClientApp(ComponentDefinition):
             response.value,
         )
 
+    def dump_state(self) -> dict[int, object]:
+        return dict(self.results)
+
+    def load_state(self, state) -> None:
+        self.results = dict(state)
+
 
 def wait_for(predicate, timeout=20.0) -> bool:
     deadline = time.monotonic() + timeout
@@ -113,7 +119,10 @@ def wait_for(predicate, timeout=20.0) -> bool:
     return predicate()
 
 
-class Main(ComponentDefinition):
+# Assembly root: holds child Component handles, which are the unit of
+# shard placement — the root moves with its whole subtree (or not at
+# all), so section-2.6 migration hooks do not apply.
+class Main(ComponentDefinition):  # repro: noqa[P006]
     def __init__(self) -> None:
         super().__init__()
         self.bootstrap = self.create(BootstrapHost)

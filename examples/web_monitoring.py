@@ -56,7 +56,10 @@ class NodeHost(ComponentDefinition):
         self.connect(timer.provided(Timer), self.node.required(Timer))
 
 
-class Main(ComponentDefinition):
+# Assembly root: holds child Component handles, which are the unit of
+# shard placement — the root moves with its whole subtree (or not at
+# all), so section-2.6 migration hooks do not apply.
+class Main(ComponentDefinition):  # repro: noqa[P006]
     def __init__(self) -> None:
         super().__init__()
         self.monitor = self.create(MonitorHost)

@@ -1,10 +1,10 @@
 """``python -m repro.analysis all`` — every static pass, one exit code.
 
 Runs the AST lint (A*), the event-flow analysis (F*), the
-distribution-readiness analysis (D*), and the memory-footprint analysis
-(M*) over the same path set — sharing the AST parse cache, so each source
-file is parsed once — and merges the findings into a single sorted
-report.  With ``--wiring-examples DIR`` it
+distribution-readiness analysis (D*), the memory-footprint analysis
+(M*), and the shard-safety analysis (P*) over the same path set —
+sharing the AST parse cache, so each source file is parsed once — and
+merges the findings into a single sorted report.  With ``--wiring-examples DIR`` it
 additionally assembles every example script in ``DIR`` that declares a
 module-level ``WIRING_ROOT`` component class (under a ManualScheduler:
 built, verified, never started) and folds the wiring findings (W*) in.
@@ -29,6 +29,7 @@ from .dist.checks import analyze_paths as dist_paths
 from .findings import Finding
 from .flow.graph import analyze_paths as flow_paths
 from .mem.checks import analyze_paths as mem_paths
+from .par.checks import analyze_paths as par_paths
 from .sarif import write_sarif
 
 #: Module-level attribute an example script sets to its root component
@@ -107,6 +108,7 @@ def run_all(
         "flow": flow_paths(paths, config=config),
         "dist": dist_paths(paths, config=config),
         "mem": mem_paths(paths, config=config),
+        "par": par_paths(paths, config=config),
     }
     if wiring_examples is not None:
         per_pass["wiring"] = verify_example_assemblies(wiring_examples, config)
@@ -147,9 +149,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis all",
         description=(
             "Run every static analysis pass (lint A*, flow F*, dist D*, "
-            "mem M*) over the tree with one merged report and one exit code; "
-            "--wiring-examples DIR folds in wiring verification (W*) of "
-            "example assemblies."
+            "mem M*, par P*) over the tree with one merged report and one "
+            "exit code; --wiring-examples DIR folds in wiring verification "
+            "(W*) of example assemblies."
         ),
     )
     parser.add_argument(

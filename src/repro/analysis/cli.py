@@ -112,6 +112,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .mem.cli import main as mem_main
 
         return mem_main(argv[1:])
+    if argv and argv[0] == "par":
+        from .par.cli import main as par_main
+
+        return par_main(argv[1:])
     if argv and argv[0] == "all":
         from .aggregate import main as all_main
 

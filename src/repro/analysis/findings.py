@@ -18,6 +18,9 @@ grouped by pass:
   component survive a process boundary? (:mod:`repro.analysis.dist`)
 - ``M0xx`` — memory-footprint analysis: slot coverage, unbounded
   collections, event retention, interning (:mod:`repro.analysis.mem`)
+- ``P0xx`` — shard-safety analysis: single-address-space assumptions
+  that break when components are pinned to worker processes
+  (:mod:`repro.analysis.par`)
 
 A finding is suppressed at the source line with a trailing
 ``# repro: noqa[A001]`` comment (see :mod:`repro.analysis.config` for
@@ -262,6 +265,50 @@ register_rule(
     "allocating a fresh container per instance where an empty-tuple "
     "sentinel (or a required field) suffices",
     "mem",
+)
+register_rule(
+    "P001", "process-divergent-state",
+    "handler code reads or writes module-level or class-level mutable "
+    "state; each shard worker gets its own copy, so the values silently "
+    "diverge per process — move the state onto the component instance",
+    "par",
+)
+register_rule(
+    "P002", "cross-component-reach-through",
+    "handler code calls methods or reads attributes on a held reference "
+    "to another component instance, bypassing ports; a process boundary "
+    "severs the reference (D005 covers refs in payloads, this covers "
+    "direct use)",
+    "par",
+)
+register_rule(
+    "P003", "shard-cut-codec-gap",
+    "an event edge crosses a candidate shard boundary (producer and "
+    "consumer share no composite subtree) but the event type is not "
+    "wire-safe, so the edge cannot be routed between worker processes",
+    "par",
+)
+register_rule(
+    "P004", "identity-affinity",
+    "handler code uses id() or an is/is-not comparison on runtime values "
+    "as a key or guard; object identity does not survive a process "
+    "boundary (Address relies on intern() for 'is', decoded payloads are "
+    "fresh objects) — compare by value instead",
+    "par",
+)
+register_rule(
+    "P005", "handler-acquires-sync-primitive",
+    "a handler acquires a synchronization primitive (threading.Lock/"
+    "Condition/Event.wait, queue.Queue.get, Thread.join); a lock-shaped "
+    "stall can deadlock a shard's worker pool (A002 covers sleep/IO)",
+    "par",
+)
+register_rule(
+    "P006", "unpinnable-component",
+    "a component holds mutable state but overrides neither dump_state nor "
+    "load_state, so section-2.6 state transfer cannot migrate it to "
+    "rebalance shards",
+    "par",
 )
 
 

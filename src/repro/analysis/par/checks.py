@@ -1,0 +1,582 @@
+"""The P001–P006 checks over the extraction model.
+
+Each check yields ``(rule, message, module, line, col, extra)`` tuples
+anchored in scanned modules only; :func:`analyze_paths` applies rule
+selection and ``# repro: noqa[P...]`` suppression and returns sorted
+:class:`~repro.analysis.findings.Finding` records — the same driver
+contract as the lint, flow, dist, and mem passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from ..ast_lint import (
+    COMPONENT_ROOT,
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _base_name,
+)
+from ..config import AnalysisConfig, is_suppressed
+from ..findings import Finding
+from ..flow.graph import _CONTROL_PORTS
+from .model import (
+    A003_ATTRS,
+    COMPONENT_HANDLE_API,
+    MUTATOR_METHODS,
+    ParModel,
+    SharedState,
+    build_par_model,
+    class_body_mutables,
+)
+
+_Raw = tuple[str, str, ModuleInfo, int, Optional[int], dict]
+
+
+def _class_info(
+    node: ast.ClassDef, module: ModuleInfo, index: ProjectIndex
+) -> ClassInfo:
+    """The index record for ``node``, re-bound if the name was reused."""
+    info = index.classes.get(node.name)
+    if info is not None and info.node is node:
+        return info
+    rebound = ClassInfo(
+        node.name, module, node, tuple(b for b in map(_base_name, node.bases) if b)
+    )
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            rebound.methods[item.name] = item
+    return rebound
+
+
+def _first_param(method: ast.FunctionDef) -> Optional[str]:
+    args = method.args.posonlyargs + method.args.args
+    return args[0].arg if args else None
+
+
+def _self_attr(expr: ast.expr, selfname: str) -> Optional[str]:
+    """``self.attr`` -> ``"attr"``; anything else -> None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == selfname
+    ):
+        return expr.attr
+    return None
+
+
+def _local_names(method: ast.FunctionDef) -> set[str]:
+    """Names bound locally in ``method`` (params, assignments, targets)."""
+    out: set[str] = set()
+    args = method.args
+    for arg in (
+        args.posonlyargs + args.args + args.kwonlyargs
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        out.add(arg.arg)
+    for node in ast.walk(method):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not method:
+                out.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            out.add(node.name)
+        elif isinstance(node, ast.Global):
+            out.difference_update(node.names)
+    return out
+
+
+def _instance_assigned_attrs(info: ClassInfo) -> set[str]:
+    """Attrs assigned as ``self.x = ...`` anywhere in the class."""
+    out: set[str] = set()
+    for method in info.methods.values():
+        selfname = _first_param(method)
+        if selfname is None:
+            continue
+        for node in ast.walk(method):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = _self_attr(target, selfname)
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
+def _chain_class_mutables(
+    cls: str, index: ProjectIndex
+) -> dict[str, tuple[str, int]]:
+    """attr -> (declaring class, line) for class-body mutable containers
+    of ``cls`` and every indexed base."""
+    out: dict[str, tuple[str, int]] = {}
+    seen: set[str] = set()
+    frontier = [cls]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = index.classes.get(current)
+        if info is None:
+            continue
+        for attr, line in class_body_mutables(info.node).items():
+            out.setdefault(attr, (current, line))
+        frontier.extend(index.bases.get(current, ()))
+    return out
+
+
+# ------------------------------------------------------------------- P001
+
+
+def _check_divergent_state(
+    node: ast.ClassDef,
+    module: ModuleInfo,
+    model: ParModel,
+    info: ClassInfo,
+    shared: SharedState,
+) -> Iterator[_Raw]:
+    handlers = model.handlers_of(node.name)
+    #: module-level containers with mutation evidence anywhere in the module
+    hot_globals = {
+        name: line
+        for name, line in shared.module_mutables.items()
+        if name in shared.module_mutated
+    }
+    class_mutables = _chain_class_mutables(node.name, model.index)
+    instance_attrs = _instance_assigned_attrs(info)
+    #: class attrs shadowed by an instance assignment are per-instance state
+    shared_class_attrs = {
+        attr: where
+        for attr, where in class_mutables.items()
+        if attr not in instance_attrs
+    }
+    for name in sorted(handlers):
+        method = info.methods.get(name)
+        if method is None:
+            continue
+        selfname = _first_param(method)
+        local = _local_names(method)
+        reported: set[tuple[str, int]] = set()
+
+        def report(kind: str, ident: str, line: int, col: Optional[int], msg: str):
+            key = (ident, line)
+            if key in reported:
+                return None
+            reported.add(key)
+            return (
+                "P001",
+                msg,
+                module,
+                line,
+                col,
+                {"class": node.name, "handler": name, kind: ident},
+            )
+
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Global):
+                for ident in sub.names:
+                    raw = report(
+                        "global", ident, sub.lineno, sub.col_offset,
+                        f"handler {name} declares 'global {ident}': writes land "
+                        "in this process's module namespace only and silently "
+                        "diverge per shard worker; keep the state on the "
+                        "component instance",
+                    )
+                    if raw:
+                        yield raw
+            elif isinstance(sub, ast.Name) and sub.id in hot_globals:
+                if sub.id in local or sub.id in module.imports:
+                    continue
+                raw = report(
+                    "name", sub.id, sub.lineno, sub.col_offset,
+                    f"handler {name} uses module-level mutable {sub.id} "
+                    f"(bound at line {hot_globals[sub.id]} and mutated in this "
+                    "module): every shard worker gets an independent copy, so "
+                    "the contents silently diverge per process; move the state "
+                    "onto the component instance",
+                )
+                if raw:
+                    yield raw
+            elif isinstance(sub, ast.Attribute):
+                attr = sub.attr
+                where = shared_class_attrs.get(attr)
+                if where is None:
+                    continue
+                base = sub.value
+                via_class = (
+                    isinstance(base, (ast.Name, ast.Attribute))
+                    and _base_name(base) in (node.name, where[0])
+                ) or (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "__class__"
+                ) or (
+                    isinstance(base, ast.Call)
+                    and _base_name(base.func) == "type"
+                )
+                via_self = selfname is not None and _self_attr(sub, selfname) == attr
+                if not (via_class or via_self):
+                    continue
+                raw = report(
+                    "attr", attr, sub.lineno, sub.col_offset,
+                    f"handler {name} uses class-level mutable "
+                    f"{where[0]}.{attr} (declared at line {where[1]}, never "
+                    "shadowed by an instance assignment): the container is "
+                    "shared by every instance in this process and diverges "
+                    "per shard worker; make it instance state",
+                )
+                if raw:
+                    yield raw
+
+
+# ------------------------------------------------------------------- P002
+
+
+def _check_reach_through(
+    node: ast.ClassDef,
+    module: ModuleInfo,
+    model: ParModel,
+    info: ClassInfo,
+) -> Iterator[_Raw]:
+    handle = model.handles.get(node.name)
+    if handle is None or not (handle.child_attrs or handle.definition_attrs):
+        return
+    handlers = model.handlers_of(node.name)
+    for name in sorted(handlers):
+        method = info.methods.get(name)
+        if method is None:
+            continue
+        selfname = _first_param(method)
+        if selfname is None:
+            continue
+        reported: set[int] = set()
+        for sub in ast.walk(method):
+            if not isinstance(sub, ast.Attribute):
+                continue
+            held = _self_attr(sub.value, selfname)
+            if held is None or sub.lineno in reported:
+                continue
+            if held in handle.definition_attrs:
+                reported.add(sub.lineno)
+                yield (
+                    "P002",
+                    f"handler {name} accesses .{sub.attr} on self.{held}, a "
+                    "held reference to another component instance; a process "
+                    "boundary severs the reference — communicate through a "
+                    "port (trigger an event) instead",
+                    module,
+                    sub.lineno,
+                    sub.col_offset,
+                    {"class": node.name, "handler": name, "attr": held,
+                     "access": sub.attr},
+                )
+            elif held in handle.child_attrs:
+                if sub.attr in COMPONENT_HANDLE_API or sub.attr in A003_ATTRS:
+                    continue  # port API; .definition/.core are A003's
+                reported.add(sub.lineno)
+                yield (
+                    "P002",
+                    f"handler {name} accesses .{sub.attr} on child handle "
+                    f"self.{held}; only the port-access API "
+                    "(provided/required) survives sharding — route the "
+                    "interaction through a channel",
+                    module,
+                    sub.lineno,
+                    sub.col_offset,
+                    {"class": node.name, "handler": name, "attr": held,
+                     "access": sub.attr},
+                )
+
+
+# ------------------------------------------------------------------- P003
+
+
+def _check_shard_cut(
+    model: ParModel, scanned: dict[str, ModuleInfo]
+) -> Iterator[_Raw]:
+    graph = model.graph
+    reported: set[tuple[str, int, str]] = set()
+    for producer in graph.producers:
+        if producer.event is None or producer.port_type in _CONTROL_PORTS:
+            continue
+        verdict = model.dist.verdict(producer.event)
+        if verdict.wire_safe:
+            continue
+        for consumer in graph.consumers_for(
+            producer.port_type, producer.direction, producer.event
+        ):
+            if not model.crosses_shard_cut(producer.component, consumer.component):
+                continue
+            module = scanned.get(producer.file)
+            line, col = producer.line, producer.col
+            if module is None:
+                module = scanned.get(consumer.file)
+                line, col = consumer.line, consumer.col
+            if module is None:
+                continue  # neither endpoint in the scanned set
+            key = (str(module.path), line, producer.event)
+            if key in reported:
+                continue
+            reported.add(key)
+            reasons = "; ".join(verdict.reasons)
+            yield (
+                "P003",
+                f"event {producer.event} flows from {producer.component} to "
+                f"{consumer.component} on {producer.port_type} — the classes "
+                "share no composite subtree, so this edge crosses a candidate "
+                f"shard cut, but the event is not wire-safe ({reasons})",
+                module,
+                line,
+                col,
+                {
+                    "event": producer.event,
+                    "producer": producer.component,
+                    "consumer": consumer.component,
+                    "port_type": producer.port_type,
+                    "reasons": list(verdict.reasons),
+                },
+            )
+
+
+# ------------------------------------------------------------------- P004
+
+#: Comparison operands that make an ``is`` check process-safe.
+_SAFE_SINGLETONS = (type(None), bool, type(...))
+
+#: Enum roots whose members pickle by name back to the canonical object,
+#: so identity survives the boundary.
+_ENUM_ROOTS = ("Enum", "IntEnum", "StrEnum", "Flag", "IntFlag")
+
+
+def _identity_safe(expr: ast.expr, index: ProjectIndex) -> bool:
+    """True when ``expr`` denotes an object whose identity survives the
+    boundary: None/bool/Ellipsis, a class object, ``type(...)``, or an
+    enum member (pickle resolves members by name)."""
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, _SAFE_SINGLETONS)
+    if isinstance(expr, ast.Attribute):
+        owner = _base_name(expr.value)
+        if owner is not None and any(
+            index.descends_from(owner, root) for root in _ENUM_ROOTS
+        ):
+            return True  # EnumClass.MEMBER
+        name = _base_name(expr)
+        return name is not None and name in index.classes
+    if isinstance(expr, ast.Name):
+        return expr.id in index.classes
+    if isinstance(expr, ast.Call):
+        return _base_name(expr.func) == "type"
+    return False
+
+
+def _check_identity_affinity(
+    node: ast.ClassDef,
+    module: ModuleInfo,
+    model: ParModel,
+    info: ClassInfo,
+) -> Iterator[_Raw]:
+    handlers = model.handlers_of(node.name)
+    for name in sorted(handlers):
+        method = info.methods.get(name)
+        if method is None:
+            continue
+        local = _local_names(method)
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Call):
+                fn = sub.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id == "id"
+                    and fn.id not in local
+                    and fn.id not in module.imports
+                ):
+                    yield (
+                        "P004",
+                        f"handler {name} calls id(): the integer is only "
+                        "meaningful inside this process and collides or "
+                        "dangles across shard workers — key by value "
+                        "(address, op id) instead",
+                        module,
+                        sub.lineno,
+                        sub.col_offset,
+                        {"class": node.name, "handler": name, "form": "id"},
+                    )
+            elif isinstance(sub, ast.Compare):
+                left = sub.left
+                for op, right in zip(sub.ops, sub.comparators):
+                    if isinstance(op, (ast.Is, ast.IsNot)):
+                        if not (
+                            _identity_safe(left, model.index)
+                            or _identity_safe(right, model.index)
+                        ):
+                            yield (
+                                "P004",
+                                f"handler {name} guards on object identity "
+                                f"('{ast.unparse(left)} "
+                                f"{'is' if isinstance(op, ast.Is) else 'is not'} "
+                                f"{ast.unparse(right)}'): identity does not "
+                                "survive a process boundary (decoded payloads "
+                                "are fresh objects; Address preserves 'is' "
+                                "only via intern()) — compare by value",
+                                module,
+                                sub.lineno,
+                                sub.col_offset,
+                                {"class": node.name, "handler": name,
+                                 "form": "is"},
+                            )
+                    left = right
+
+
+# ------------------------------------------------------------------- P005
+
+
+def _nonblocking_call(call: ast.Call) -> bool:
+    """True when the call explicitly opts out of blocking."""
+    for kw in call.keywords:
+        if kw.arg in ("block", "blocking") and isinstance(kw.value, ast.Constant):
+            if kw.value.value is False:
+                return True
+    if call.args and isinstance(call.args[0], ast.Constant):
+        if call.args[0].value is False:
+            return True
+    return False
+
+
+def _check_sync_primitives(
+    node: ast.ClassDef,
+    module: ModuleInfo,
+    model: ParModel,
+    info: ClassInfo,
+) -> Iterator[_Raw]:
+    sync = model.sync_attrs(node.name)
+    if not sync:
+        return
+    handlers = model.handlers_of(node.name)
+    for name in sorted(handlers):
+        method = info.methods.get(name)
+        if method is None:
+            continue
+        selfname = _first_param(method)
+        if selfname is None:
+            continue
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.With):
+                for item in sub.items:
+                    attr = _self_attr(item.context_expr, selfname)
+                    if attr is None or attr not in sync:
+                        continue
+                    ctor, methods = sync[attr]
+                    if "acquire" not in methods:
+                        continue
+                    yield (
+                        "P005",
+                        f"handler {name} enters 'with self.{attr}' "
+                        f"({ctor}): the handler blocks a scheduler worker "
+                        "until the holder releases — a lock-shaped stall "
+                        "that can deadlock a shard's worker pool",
+                        module,
+                        item.context_expr.lineno,
+                        item.context_expr.col_offset,
+                        {"class": node.name, "handler": name, "attr": attr,
+                         "ctor": ctor},
+                    )
+            elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                attr = _self_attr(sub.func.value, selfname)
+                if attr is None or attr not in sync:
+                    continue
+                ctor, methods = sync[attr]
+                if sub.func.attr not in methods or _nonblocking_call(sub):
+                    continue
+                yield (
+                    "P005",
+                    f"handler {name} calls self.{attr}.{sub.func.attr}() "
+                    f"({ctor}): the handler blocks a scheduler worker — a "
+                    "lock-shaped stall that can deadlock a shard's worker "
+                    "pool (hand the work to a dedicated thread outside the "
+                    "handler, as ThreadTimer/TcpNetwork do)",
+                    module,
+                    sub.lineno,
+                    sub.col_offset,
+                    {"class": node.name, "handler": name, "attr": attr,
+                     "ctor": ctor, "method": sub.func.attr},
+                )
+
+
+# ------------------------------------------------------------------- P006
+
+
+def _check_unpinnable(
+    node: ast.ClassDef,
+    module: ModuleInfo,
+    model: ParModel,
+) -> Iterator[_Raw]:
+    comp = model.component_model(node.name)
+    if comp is None or not comp.mutable_attrs or comp.has_state_hooks:
+        return
+    attrs = ", ".join(sorted(comp.mutable_attrs))
+    yield (
+        "P006",
+        f"{node.name} holds mutable state ({attrs}) but overrides neither "
+        "dump_state nor load_state: section-2.6 state transfer cannot "
+        "migrate it, so the component is pinned to its birth shard — "
+        "implement both hooks (or justify the pin with a noqa)",
+        module,
+        node.lineno,
+        node.col_offset,
+        {"class": node.name, "attrs": sorted(comp.mutable_attrs)},
+    )
+
+
+# ----------------------------------------------------------------- driver
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    config: Optional[AnalysisConfig] = None,
+) -> list[Finding]:
+    """Run the par pass over files/directories; returns sorted findings."""
+    config = config or AnalysisConfig()
+    model, scanned = build_par_model(paths, config)
+    index = model.index
+
+    raw: list[_Raw] = []
+    for module in scanned.values():
+        shared = model.shared[str(module.path)]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not index.is_component(node.name) or node.name == COMPONENT_ROOT:
+                continue
+            info = _class_info(node, module, index)
+            raw.extend(_check_divergent_state(node, module, model, info, shared))
+            raw.extend(_check_reach_through(node, module, model, info))
+            raw.extend(_check_identity_affinity(node, module, model, info))
+            raw.extend(_check_sync_primitives(node, module, model, info))
+            raw.extend(_check_unpinnable(node, module, model))
+    raw.extend(_check_shard_cut(model, scanned))
+
+    findings: list[Finding] = []
+    for rule_id, message, module, line, col, extra in raw:
+        if not config.rule_enabled(rule_id):
+            continue
+        if is_suppressed(rule_id, module.line(line)):
+            continue
+        findings.append(
+            Finding(
+                rule=rule_id,
+                message=message,
+                file=str(module.path),
+                line=line,
+                col=col,
+                extra=extra,
+            )
+        )
+    findings.sort(key=lambda f: (f.file or "", f.line or 0, f.rule))
+    return findings

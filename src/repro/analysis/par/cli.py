@@ -1,0 +1,113 @@
+"""``python -m repro.analysis par <paths>`` — shard safety.
+
+Same reporting surface and exit codes as the lint, flow, dist, and mem
+CLIs: 0 clean, 1 when findings were reported, 2 on usage errors.
+``--sarif FILE`` additionally writes the findings as a SARIF 2.1.0 log
+(``-`` for stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..config import AnalysisConfig, find_pyproject, load_config
+from ..findings import to_json
+from ..sarif import write_sarif
+from .checks import analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis par",
+        description=(
+            "Whole-program shard-safety analysis toward multi-process "
+            "scale-out (rules P001-P006: process-divergent module/class "
+            "state, cross-component reach-through, shard-cut codec gaps, "
+            "identity affinity, handler-held synchronization primitives, "
+            "unpinnable components)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        type=Path,
+        help="files or directories to analyze (directories walked recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="comma-separated rule prefixes to enable (e.g. P001,P003)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RULES",
+        help="comma-separated rule prefixes to disable",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None, metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro.analysis] from",
+    )
+    return parser
+
+
+def _split_csv(values: Optional[Sequence[str]]) -> tuple[str, ...]:
+    if not values:
+        return ()
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return tuple(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    pyproject = args.config
+    if pyproject is None:
+        pyproject = find_pyproject(args.paths[0])
+    try:
+        config = load_config(pyproject) if pyproject else AnalysisConfig()
+    except Exception as exc:  # noqa: BLE001 - report config errors as usage errors
+        print(f"error: bad config {pyproject}: {exc}", file=sys.stderr)
+        return 2
+    config = config.merged(
+        select=_split_csv(args.select) if args.select else None,
+        ignore=_split_csv(args.ignore) if args.ignore else None,
+    )
+
+    findings = analyze_paths(args.paths, config=config)
+
+    if args.sarif is not None:
+        write_sarif(findings, args.sarif)
+    if args.format == "json":
+        print(to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"\n{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -129,7 +129,9 @@ class _EchoServer(ComponentDefinition):
         self.trigger(Reply(request.n), self.port)
 
 
-class _EchoClient(ComponentDefinition):
+# Deterministic race-fixture scaffolding, confined to one simulation
+# process; never a shard-migration candidate.
+class _EchoClient(ComponentDefinition):  # repro: noqa[P006]
     def __init__(self, count: int = 5) -> None:
         super().__init__()
         self.port = self.requires(RelayPort)

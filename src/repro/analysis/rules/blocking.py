@@ -39,6 +39,21 @@ BLOCKING_DOTTED = frozenset(
 #: Bare builtins that block.
 BLOCKING_BARE = frozenset({"open", "input"})
 
+#: File-I/O methods chained directly onto a ``pathlib.Path(...)``
+#: construction — ``Path(p).open()`` reaches the same syscall as the bare
+#: ``open(p)`` but hides behind a Call receiver the dotted resolver
+#: cannot name.
+BLOCKING_PATH_METHODS = frozenset(
+    {"open", "read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+#: Bound-method names that block on a socket-like endpoint.  The receiver
+#: of ``conn.recv(...)`` is a runtime object no import table can resolve,
+#: so these are matched by name; the set is kept to names distinctive to
+#: blocking endpoints (``connect`` is deliberately absent — too many
+#: component APIs use it for wiring).
+BLOCKING_BOUND_METHODS = frozenset({"accept", "recv", "recvfrom", "recv_into"})
+
 
 def _dotted_name(node: ast.expr) -> Optional[str]:
     parts: list[str] = []
@@ -58,16 +73,42 @@ def check(ctx) -> Iterator[tuple[str, str, ast.AST]]:
             if not isinstance(node, ast.Call):
                 continue
             dotted = _dotted_name(node.func)
-            if dotted is None:
+            if dotted is not None:
+                resolved = _resolve(dotted, imports)
+                if resolved in BLOCKING_DOTTED or (
+                    "." not in dotted and dotted in BLOCKING_BARE
+                ):
+                    yield (
+                        RULE,
+                        f"handler {handler.name}() calls blocking "
+                        f"{resolved or dotted}(): handlers must not block "
+                        f"a scheduler worker",
+                        node,
+                    )
+                    continue
+            if not isinstance(node.func, ast.Attribute):
                 continue
-            resolved = _resolve(dotted, imports)
-            if resolved in BLOCKING_DOTTED or (
-                "." not in dotted and dotted in BLOCKING_BARE
+            method = node.func.attr
+            receiver = node.func.value
+            if (
+                method in BLOCKING_PATH_METHODS
+                and isinstance(receiver, ast.Call)
+                and _resolve(_dotted_name(receiver.func) or "", imports)
+                == "pathlib.Path"
             ):
                 yield (
                     RULE,
-                    f"handler {handler.name}() calls blocking {resolved or dotted}(): "
-                    f"handlers must not block a scheduler worker",
+                    f"handler {handler.name}() calls blocking "
+                    f"pathlib.Path(...).{method}(): handlers must not "
+                    f"block a scheduler worker",
+                    node,
+                )
+            elif method in BLOCKING_BOUND_METHODS:
+                yield (
+                    RULE,
+                    f"handler {handler.name}() calls .{method}(), a "
+                    f"blocking socket-style receive: handlers must not "
+                    f"block a scheduler worker",
                     node,
                 )
 

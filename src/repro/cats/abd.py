@@ -1004,3 +1004,37 @@ class ConsistentAbd(ComponentDefinition):
             "view_rejections": self.view_rejections,
             "views_installed": self.views_installed,
         }
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        """Durable replica state for section-2.6 replacement.
+
+        In-flight client operations and the pending view installation are
+        deliberately dropped: their retry timers die with the old instance
+        and clients re-drive them, exactly as across a crash-recovery.
+        """
+        return {
+            "records": self.store.snapshot(),
+            "views": dict(self.views),
+            "my_view": self.my_view,
+            "neighbors": self._neighbors,
+            "ballot_ceiling": self._ballot_ceiling,
+            "reballot_floor": self._reballot_floor,
+            "stats": (
+                self.ops_completed, self.ops_failed, self.retries,
+                self.view_rejections, self.views_installed, self.gc_dropped,
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.store.apply_all(state["records"])
+        self.views = dict(state["views"])
+        self.my_view = state["my_view"]
+        self._neighbors = state["neighbors"]
+        self._ballot_ceiling = state["ballot_ceiling"]
+        self._reballot_floor = state["reballot_floor"]
+        (
+            self.ops_completed, self.ops_failed, self.retries,
+            self.view_rejections, self.views_installed, self.gc_dropped,
+        ) = state["stats"]

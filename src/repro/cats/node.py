@@ -233,8 +233,11 @@ class CatsNode(ComponentDefinition):
     def on_sample(self, sample: Sample) -> None:
         if sample.nodes:
             self._known_peers = sample.nodes
-        # A collapsed ring heals once gossip shows peers again.
-        if self.joined and not self._ring_successors:
+        # A collapsed ring heals once gossip shows peers again — and so
+        # does a node whose initial join exhausted its lookup retries
+        # (the ring gives up on a seed set; only a fresh RingJoin
+        # restarts it).
+        if not self.joined or not self._ring_successors:
             self._schedule_rejoin()
 
     def _schedule_rejoin(self) -> None:
@@ -248,7 +251,7 @@ class CatsNode(ComponentDefinition):
     @handles(RejoinTick)
     def on_rejoin_tick(self, _tick: RejoinTick) -> None:
         self._rejoin_pending = False
-        if self.joined and not self._ring_successors and self._known_peers:
+        if (not self.joined or not self._ring_successors) and self._known_peers:
             self.trigger(RingJoin(self._known_peers), self.ring.provided(Ring))
             self._schedule_rejoin()  # keep trying until the ring heals
 

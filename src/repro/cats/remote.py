@@ -118,6 +118,17 @@ class RemoteApiServer(ComponentDefinition):
             self.network,
         )
 
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict[int, tuple[Address, int]]:
+        """In-flight op routing survives in-process replacement: PutGet
+        responses to ops the old instance issued arrive on the same
+        channels the new instance is plugged into."""
+        return dict(self._pending)
+
+    def load_state(self, state: dict[int, tuple[Address, int]]) -> None:
+        self._pending = dict(state)
+
 
 class CatsClient(ComponentDefinition):
     """Provides PutGet locally; requires Network; executes ops on a remote node."""

@@ -9,6 +9,14 @@ routing state is stale.
 
 The Ring port reports RingNeighbors on every predecessor/successor-list
 change; the quorum layer derives replication groups from these events.
+
+Suspected-dead addresses are *quarantined* for a bounded period: a dead
+node's address keeps circulating in peers' successor-list tails for a
+few stabilization rounds, and without the quarantine each node would
+re-adopt it from gossip right after evicting it — a standing wave that
+keeps the corpse in every routing table forever.  Direct evidence of
+life (a message from the node itself, or the failure detector's
+Restore) lifts the quarantine immediately.
 """
 
 from __future__ import annotations
@@ -77,6 +85,7 @@ class CatsRing(ComponentDefinition):
         lookup_timeout: float = 2.0,
         lookup_attempts: int = 3,
         finger_cache_size: int = 64,
+        suspect_quarantine: float = 10.0,
     ) -> None:
         super().__init__()
         if address.node_id is None:
@@ -89,6 +98,7 @@ class CatsRing(ComponentDefinition):
         self.lookup_timeout = lookup_timeout
         self.lookup_attempts = lookup_attempts
         self.finger_cache_size = finger_cache_size
+        self.suspect_quarantine = suspect_quarantine
 
         self.ring = self.provides(Ring)
         self.network = self.requires(Network)
@@ -105,6 +115,7 @@ class CatsRing(ComponentDefinition):
         self._join_attempts = 0
         self._join_op: Optional[int] = None
         self._pending_lookups: dict[int, tuple[int, int]] = {}  # op_id -> (key, attempts)
+        self._quarantined: dict[Address, float] = {}  # node -> expiry time
         self._stabilizing = False
         self.lookups_served = 0
 
@@ -262,6 +273,7 @@ class CatsRing(ComponentDefinition):
         # nodes must never enter routing state — they drop forwarded
         # lookups, which would wedge every lookup routed through them.
         if message.hops > 0:
+            self._evidence_of_life(message.source)
             self._learn(message.source)
         if not self.joined or message.hops > MAX_LOOKUP_HOPS:
             return  # the requester retries
@@ -337,6 +349,7 @@ class CatsRing(ComponentDefinition):
 
     @handles(FoundSuccessor)
     def on_found_successor(self, message: FoundSuccessor) -> None:
+        self._evidence_of_life(message.responsible)
         self._learn(message.responsible)
         for member in message.successors:
             self._learn(member)
@@ -375,6 +388,7 @@ class CatsRing(ComponentDefinition):
 
     @handles(GetNeighbors)
     def on_get_neighbors(self, message: GetNeighbors) -> None:
+        self._evidence_of_life(message.source)
         self._learn(message.source)
         self.trigger(
             GetNeighborsReply(
@@ -397,12 +411,16 @@ class CatsRing(ComponentDefinition):
             candidate is not None
             and candidate != self.address
             and candidate != successor
+            and not self._is_quarantined(candidate)
             and self.key_space.in_interval(
                 candidate.node_id, self.node_id, successor.node_id
             )
             and candidate.node_id != successor.node_id
         ):
             # A node slipped in between us and our successor: adopt it.
+            # (A quarantined candidate is our successor's *stale*
+            # predecessor pointer naming a corpse — adopting it would
+            # collapse this node to a singleton when the cleaner drops it.)
             new_head = candidate
         new_list = self._clean_successor_list([new_head, *message.successors])
         if new_list != self.successors:
@@ -412,10 +430,12 @@ class CatsRing(ComponentDefinition):
 
     @handles(Notify)
     def on_notify(self, message: Notify) -> None:
+        self._evidence_of_life(message.source)
         self._learn(message.source)
         candidate = message.source
         if candidate == self.address:
             return
+        changed = False
         if (
             self.predecessor is None
             or self.predecessor == self.address
@@ -428,16 +448,28 @@ class CatsRing(ComponentDefinition):
         ):
             if self.predecessor != candidate:
                 self.predecessor = candidate
-                # A lone node adopts the notifier as successor too.
-                if self._alone():
-                    self.successors = self._clean_successor_list([candidate])
-                self._emit_neighbors()
+                changed = True
+        # A lone node adopts the notifier as successor regardless of the
+        # predecessor outcome: a Notify is direct evidence of life, and a
+        # singleton whose predecessor is already correct would otherwise
+        # never leave the state (stabilization no-ops while alone).
+        if self._alone():
+            adopted = self._clean_successor_list([candidate])
+            if adopted != self.successors:
+                self.successors = adopted
+                changed = True
+        if changed:
+            self._emit_neighbors()
 
     # --------------------------------------------------------------- failures
 
     @handles(Suspect)
     def on_suspect(self, event: Suspect) -> None:
         node = event.node
+        # Quarantine first: the eviction below would be undone within one
+        # stabilization round by re-adopting the address from a peer's
+        # stale successor-list tail.
+        self._quarantined[node] = self.now() + self.suspect_quarantine
         changed = False
         if node in self.successors:
             self.successors = [s for s in self.successors if s != node]
@@ -455,14 +487,31 @@ class CatsRing(ComponentDefinition):
 
     @handles(Restore)
     def on_restore(self, event: Restore) -> None:
+        self._quarantined.pop(event.node, None)
         self._learn(event.node)
 
     # ---------------------------------------------------------------- helpers
+
+    def _is_quarantined(self, node: Address) -> bool:
+        expiry = self._quarantined.get(node)
+        if expiry is None:
+            return False
+        if self.now() >= expiry:
+            del self._quarantined[node]
+            return False
+        return True
+
+    def _evidence_of_life(self, node: Address) -> None:
+        """A message from ``node`` itself proves it is alive (hearsay —
+        another node's successor list naming it — does not)."""
+        self._quarantined.pop(node, None)
 
     def _clean_successor_list(self, candidates: list[Address]) -> list[Address]:
         cleaned: list[Address] = []
         for candidate in candidates:
             if candidate is None or candidate == self.address:
+                continue
+            if self._is_quarantined(candidate):
                 continue
             if candidate not in cleaned:
                 cleaned.append(candidate)
@@ -473,7 +522,7 @@ class CatsRing(ComponentDefinition):
     def _learn(self, node: Optional[Address]) -> None:
         if node is None or node == self.address or node.node_id is None:
             return
-        if self.finger_cache_size <= 0:
+        if self.finger_cache_size <= 0 or self._is_quarantined(node):
             return
         if (
             self._fingers
@@ -517,3 +566,34 @@ class CatsRing(ComponentDefinition):
             "fingers": len(self._fingers),
             "lookups_served": self.lookups_served,
         }
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        """Ring topology for section-2.6 replacement.
+
+        In-flight lookups and a pending join are dropped: their retry
+        timers die with the old instance and requesters re-drive them.
+        The monitored-set mirror is carried over because the failure
+        detector component (not replaced) still monitors those nodes.
+        """
+        return {
+            "joined": self.joined,
+            "predecessor": self.predecessor,
+            "successors": list(self.successors),
+            "fingers": dict(self._fingers),
+            "monitored": set(self._monitored),
+            "quarantined": dict(self._quarantined),
+            "seeds": self._seeds,
+            "lookups_served": self.lookups_served,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.joined = state["joined"]
+        self.predecessor = state["predecessor"]
+        self.successors = list(state["successors"])
+        self._fingers = dict(state["fingers"])
+        self._monitored = set(state["monitored"])
+        self._quarantined = dict(state["quarantined"])
+        self._seeds = state["seeds"]
+        self.lookups_served = state["lookups_served"]

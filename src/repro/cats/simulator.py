@@ -138,7 +138,10 @@ class ExperimentStats:
     op_latencies: list[float] = field(default_factory=list)
 
 
-class CatsSimulator(ComponentDefinition):
+# The experiment driver owns the simulated node population and the
+# measurement accumulators; it is the per-process root of a simulation
+# run, never a migration candidate, so it carries no handover hooks.
+class CatsSimulator(ComponentDefinition):  # repro: noqa[P006]
     """Provides Experiment; creates and destroys simulated CATS nodes."""
 
     def __init__(

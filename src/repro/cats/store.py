@@ -79,6 +79,10 @@ class LocalStore:
             del self._records[key]
         return len(doomed)
 
+    def snapshot(self) -> tuple[Record, ...]:
+        """Every record, for section-2.6 state transfer."""
+        return tuple(self._records.values())
+
     def __len__(self) -> int:
         return len(self._records)
 

@@ -58,6 +58,18 @@ class CatsWebApplication(ComponentDefinition):
         for request in waiting:
             self.trigger(self._render(request), self.web)
 
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> tuple[dict[str, dict], list[WebRequest]]:
+        """Snapshot-in-progress state; queued WebRequests are answered by
+        the replacement once the snapshot completes."""
+        return (dict(self._collected), list(self._waiting))
+
+    def load_state(self, state: tuple[dict[str, dict], list[WebRequest]]) -> None:
+        collected, waiting = state
+        self._collected = dict(collected)
+        self._waiting = list(waiting)
+
     # -------------------------------------------------------------- rendering
 
     def _render(self, request: WebRequest) -> WebResponse:

@@ -31,7 +31,11 @@ class _Hello(NetworkControlMessage):
     """Handshake frame: tells the acceptor the dialer's listen address."""
 
 
-class TcpNetwork(ComponentDefinition):
+# Live sockets cannot cross a process boundary: a migrated TcpNetwork
+# re-binds its listener in __init__ and peers redial on the next send,
+# so the connection table is deliberately not part of section-2.6 state
+# transfer and the component stays pinned to its birth shard.
+class TcpNetwork(ComponentDefinition):  # repro: noqa[P006]
     """Provides Network over TCP sockets."""
 
     def __init__(

@@ -107,3 +107,17 @@ class BootstrapServer(ComponentDefinition):
             "alive": len(self._last_seen),
             "requests_served": self.requests_served,
         }
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        return {
+            "last_seen": dict(self._last_seen),
+            "creation_grant": self._creation_grant,
+            "requests_served": self.requests_served,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._last_seen = dict(state["last_seen"])
+        self._creation_grant = state["creation_grant"]
+        self.requests_served = state["requests_served"]

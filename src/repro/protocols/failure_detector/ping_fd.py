@@ -132,7 +132,14 @@ class PingFailureDetector(ComponentDefinition):
         self._monitored.discard(request.node)
         self._alive.discard(request.node)
         self._suspected.discard(request.node)
-        self._misses.pop(request.node, None)
+        # Keep accumulated miss progress: monitoring of an unresponsive
+        # node flaps (upstream evicts the suspect, then re-learns the
+        # address from a peer's stale gossip and monitors it again), and
+        # resetting the counter on every flap would let a dead node dodge
+        # suspicion forever.  The entry is dropped once the node answers
+        # (misses reset to 0 on a pong round).
+        if not self._misses.get(request.node):
+            self._misses.pop(request.node, None)
 
     # --------------------------------------------------------------- messages
 
@@ -154,3 +161,21 @@ class PingFailureDetector(ComponentDefinition):
             "suspected": sorted(str(a) for a in self._suspected),
             "interval": self.interval,
         }
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        return {
+            "monitored": set(self._monitored),
+            "alive": set(self._alive),
+            "suspected": set(self._suspected),
+            "misses": dict(self._misses),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._monitored = set(state["monitored"])
+        self._alive = set(state["alive"])
+        self._suspected = set(state["suspected"])
+        self._misses = dict(state["misses"])
+        # The old instance's round timeout dies with it; restart the loop.
+        self._schedule_round()

@@ -93,3 +93,15 @@ class MonitorClient(ComponentDefinition):
             )
             self.reports_sent += 1
         self.trigger(StatusRequest(), self.status)
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        return {
+            "latest": {name: dict(data) for name, data in self._latest.items()},
+            "reports_sent": self.reports_sent,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._latest = {name: dict(data) for name, data in state["latest"].items()}
+        self.reports_sent = state["reports_sent"]

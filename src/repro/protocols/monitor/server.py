@@ -118,3 +118,12 @@ class MonitorServer(ComponentDefinition):
     @property
     def node_count(self) -> int:
         return len(self._view)
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        return {"view": dict(self._view), "reports_received": self.reports_received}
+
+    def load_state(self, state: dict) -> None:
+        self._view = dict(state["view"])
+        self.reports_received = state["reports_received"]

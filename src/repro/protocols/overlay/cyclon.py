@@ -167,3 +167,12 @@ class CyclonOverlay(ComponentDefinition):
 
     def status(self) -> dict:
         return {"view_size": len(self._view), "shuffles": self.shuffles}
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        return {"view": dict(self._view), "shuffles": self.shuffles}
+
+    def load_state(self, state: dict) -> None:
+        self._view = dict(state["view"])
+        self.shuffles = state["shuffles"]

@@ -118,3 +118,13 @@ class OneHopRouter(ComponentDefinition):
 
     def status(self) -> dict:
         return {"members": len(self._members), "resolutions": self.resolutions}
+
+    # ---------------------------------------------------- section-2.6 handover
+
+    def dump_state(self) -> dict:
+        return {"members": dict(self._members), "resolutions": self.resolutions}
+
+    def load_state(self, state: dict) -> None:
+        self._members = dict(state["members"])
+        self.resolutions = state["resolutions"]
+        self._rebuild()

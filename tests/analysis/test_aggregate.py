@@ -94,7 +94,7 @@ def write(tmp_path, name, source):
 def test_run_all_reports_per_pass(tmp_path):
     path = write(tmp_path, "mod.py", DIRTY_SOURCE)
     per_pass = run_all([path])
-    assert list(per_pass) == ["lint", "flow", "dist", "mem"]
+    assert list(per_pass) == ["lint", "flow", "dist", "mem", "par"]
     rules = {name: {f.rule for f in findings} for name, findings in per_pass.items()}
     assert any(r.startswith("A") for r in rules["lint"])
     assert any(r.startswith("F") for r in rules["flow"])
@@ -135,7 +135,7 @@ def test_cli_all_json_merges_passes(tmp_path, capsys):
     assert code == 1
     report = json.loads(capsys.readouterr().out)
     assert report["version"] == 1
-    assert set(report["passes"]) == {"lint", "flow", "dist", "mem", "wiring"}
+    assert set(report["passes"]) == {"lint", "flow", "dist", "mem", "par", "wiring"}
     assert report["passes"]["dist"]["total"] == 1
     assert report["passes"]["wiring"]["total"] >= 1
     assert report["total"] == sum(

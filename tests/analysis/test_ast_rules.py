@@ -149,6 +149,70 @@ def test_a002_flags_open_and_socket(tmp_path):
     assert rules_of(findings) == ["A002", "A002"]
 
 
+def test_a002_flags_chained_path_open(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from pathlib import Path
+
+        class Bad(ComponentDefinition):
+            def __init__(self):
+                super().__init__()
+                self.port = self.provides(PingPort)
+                self.subscribe(self.on_ping, self.port)
+
+            @handles(Ping)
+            def on_ping(self, event):
+                Path("/tmp/x").open()
+                Path("/tmp/x").read_text()
+        """,
+    )
+    assert rules_of(findings) == ["A002", "A002"]
+    assert "pathlib.Path(...).open" in findings[0].message
+    assert "pathlib.Path(...).read_text" in findings[1].message
+
+
+def test_a002_path_methods_need_path_receiver(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Good(ComponentDefinition):
+            def __init__(self):
+                super().__init__()
+                self.port = self.provides(PingPort)
+                self.subscribe(self.on_ping, self.port)
+
+            @handles(Ping)
+            def on_ping(self, event):
+                Registry("cats").open()  # not a pathlib.Path construction
+                self.window.read_text()  # no Call receiver at all
+        """,
+    )
+    assert findings == []
+
+
+def test_a002_flags_bound_socket_receives(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Bad(ComponentDefinition):
+            def __init__(self):
+                super().__init__()
+                self.port = self.provides(PingPort)
+                self.subscribe(self.on_ping, self.port)
+
+            @handles(Ping)
+            def on_ping(self, event):
+                conn, _addr = self.listener.accept()
+                data = conn.recv(4096)
+                self.channel.connect(("localhost", 80))  # wiring verb: silent
+        """,
+    )
+    assert rules_of(findings) == ["A002", "A002"]
+    assert ".accept()" in findings[0].message
+    assert ".recv()" in findings[1].message
+
+
 def test_a002_clean_blocking_outside_handlers(tmp_path):
     findings = lint_source(
         tmp_path,

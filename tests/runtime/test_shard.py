@@ -1,0 +1,187 @@
+"""The shard harness as an oracle for the ``par`` pass (P001–P006).
+
+Three differentials, per the harness contract:
+
+1. *Fingerprint identity* — a deterministic CATS simulation executed
+   inside a single spawned shard worker produces the byte-identical trace
+   fingerprint as the same simulation in this process: moving a whole
+   tree behind the shard boundary changes nothing.
+2. *Linearizability under sharding* — a CATS cluster split across two
+   workers, with all ring/quorum traffic crossing the cut as compact
+   frames, still serves a linearizable register.
+3. *Planted divergence* — the P001 (module-global state) and P004
+   (identity-keyed dedup) fixture defects behave differently across the
+   cut than within a shard, while their clean twins do not.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cats.sharding import CatsShardCoordinator, shard_address
+from repro.consistency import check_history
+from repro.consistency.history import NOT_FOUND
+from repro.runtime.shard import ShardCluster, ShardSpec, resolve_spec
+
+from . import shard_fixtures
+
+FIXTURES = "tests.runtime.shard_fixtures"
+
+
+def _poll(fn, target, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    value = fn()
+    while value != target and time.monotonic() < deadline:
+        time.sleep(0.05)
+        value = fn()
+    return value
+
+
+# ------------------------------------------------------------ plumbing
+
+
+def test_resolve_spec():
+    assert resolve_spec(f"{FIXTURES}:poke_worker") is shard_fixtures.poke_worker
+    with pytest.raises(ValueError):
+        resolve_spec("no_colon_here")
+
+
+def test_cluster_requires_specs():
+    with pytest.raises(ValueError):
+        ShardCluster([])
+
+
+# ------------------------------------- differential 1: fingerprint identity
+
+
+def test_single_shard_reproduces_in_process_fingerprint():
+    seed = 7
+    plain = shard_fixtures.traced_cats_fingerprint(seed)
+    assert plain[1] > 100  # the scenario actually executed work
+    with ShardCluster(
+        [ShardSpec(f"{FIXTURES}:fingerprint_worker", (seed,))]
+    ) as cluster:
+        cluster.wait_ready()
+        sharded = tuple(cluster.call(0, "fingerprint", timeout=120.0))
+    assert sharded == plain
+
+
+# --------------------------------------- differential 2: linearizability
+
+
+def test_two_worker_cats_cluster_is_linearizable():
+    coordinator = CatsShardCoordinator(
+        [100, 20_000, 40_000, 60_000], workers=2
+    )
+    try:
+        # Round-robin placement really cuts the ring across processes.
+        owners = {
+            coordinator.cluster.owner_of(shard_address(node_id))
+            for node_id in coordinator.node_ids
+        }
+        assert owners == {0, 1}
+        coordinator.wait_joined(timeout=90.0)
+
+        assert coordinator.put(7, "a")
+        assert coordinator.get(7) == (True, "a")
+        assert coordinator.put(7, "b")
+        assert coordinator.get(7) == (True, "b")
+        assert coordinator.get(9_999) == (False, None)
+
+        result = check_history(coordinator.history)
+        assert result.linearizable, result.reason
+        get_results = [
+            op.result for op in coordinator.history.operations
+            if op.kind == "get" and op.complete
+        ]
+        assert get_results == ["a", "b", NOT_FOUND]
+    finally:
+        coordinator.close()
+
+
+# --------------------------------- differential 3: planted P001 divergence
+
+
+def _run_poke(placements, use_global, count=5):
+    """Run the P001 fixture with the given node placement; return
+    (per-worker global counters, merged per-node received counts)."""
+    peers = {1: 2, 2: 1}
+    specs = [
+        ShardSpec(f"{FIXTURES}:poke_worker", (node_ids, peers, count, use_global))
+        for node_ids in placements
+    ]
+    with ShardCluster(specs) as cluster:
+        cluster.wait_ready()
+        for index in range(cluster.workers):
+            cluster.call(index, "kick")
+        received: dict[int, int] = {}
+        expected_total = count * 2
+
+        def merged():
+            received.clear()
+            for index in range(cluster.workers):
+                received.update(cluster.call(index, "received"))
+            return sum(received.values())
+
+        assert _poll(merged, expected_total) == expected_total
+        globals_per_worker = [
+            cluster.call(index, "global_count")
+            for index in range(cluster.workers)
+        ]
+    return globals_per_worker, received
+
+
+def test_p001_module_state_diverges_across_shard_cut():
+    # One shard: both sinks bump the *same* module global -> it totals 10.
+    single, received_single = _run_poke([(1, 2)], use_global=True)
+    assert single == [10]
+    # Across the cut: each process has its own copy -> two halves, never 10.
+    split, received_split = _run_poke([(1,), (2,)], use_global=True)
+    assert split == [5, 5]
+    # The per-instance counts (the clean twin's observable) never diverge.
+    assert received_single == received_split == {1: 5, 2: 5}
+
+
+def test_p001_clean_twin_is_placement_independent():
+    _, received_single = _run_poke([(1, 2)], use_global=False)
+    _, received_split = _run_poke([(1,), (2,)], use_global=False)
+    assert received_single == received_split == {1: 5, 2: 5}
+
+
+# --------------------------------- differential 3: planted P004 divergence
+
+
+def _run_identity(split: bool, dedup: str) -> int:
+    if split:
+        specs = [
+            ShardSpec(f"{FIXTURES}:identity_worker", (True, False, dedup)),
+            ShardSpec(f"{FIXTURES}:identity_worker", (False, True, dedup)),
+        ]
+        sender, receiver = 0, 1
+    else:
+        specs = [ShardSpec(f"{FIXTURES}:identity_worker", (True, True, dedup))]
+        sender = receiver = 0
+    with ShardCluster(specs) as cluster:
+        cluster.wait_ready()
+        cluster.call(sender, "kick")
+        processed = _poll(
+            lambda: cluster.call(receiver, "processed"),
+            2 if (split and dedup == "identity") else 1,
+            timeout=10.0,
+        )
+    return processed
+
+
+def test_p004_identity_dedup_diverges_across_shard_cut():
+    # In-process: both deliveries are the same object -> deduplicated.
+    assert _run_identity(split=False, dedup="identity") == 1
+    # Across the cut every frame decodes to a fresh object: the id()-keyed
+    # dedup silently stops working -- the duplicate is processed.
+    assert _run_identity(split=True, dedup="identity") == 2
+
+
+def test_p004_clean_twin_dedups_in_both_placements():
+    assert _run_identity(split=False, dedup="seq") == 1
+    assert _run_identity(split=True, dedup="seq") == 1
