@@ -3,7 +3,9 @@
 The paper ships interchangeable MINA / Netty / Grizzly network components;
 ours are Loopback (by-reference), Loopback+codec (serialization without
 sockets: isolates the codec cost the paper counts as "4x serialization,
-4x deserialization"), and TCP (real sockets + framing + compression).
+4x deserialization"), blocking TCP (real sockets + framing + compression)
+and the selector-based aio TCP backend — each socket backend measured
+with both the generic pickle codec and the registered compact codec.
 The measured quantity is a full request/response round trip between two
 nodes through the Network abstraction.
 """
@@ -18,11 +20,15 @@ import pytest
 from repro import ComponentDefinition, ComponentSystem, WorkStealingScheduler, handles
 from repro.network import (
     Address,
+    AioTcpNetwork,
+    CompactCodec,
+    FrameCodec,
     LoopbackNetwork,
     Message,
     Network,
     TcpNetwork,
     local_address,
+    register_compact,
 )
 
 from benchmarks.support import print_table
@@ -30,12 +36,14 @@ from benchmarks.support import print_table
 _results: dict[str, float] = {}
 
 
+@register_compact
 @dataclass(frozen=True)
 class EchoMsg(Message):
     n: int = 0
     payload: bytes = b""
 
 
+@register_compact
 @dataclass(frozen=True)
 class EchoReply(Message):
     n: int = 0
@@ -79,9 +87,21 @@ def build_pair(kind: str):
     built = {}
 
     def build(scaffold):
-        if kind == "tcp":
-            net_a = scaffold.create(TcpNetwork, Address("127.0.0.1", 0, node_id=1))
-            net_b = scaffold.create(TcpNetwork, Address("127.0.0.1", 0, node_id=2))
+        if kind.startswith(("tcp", "aio")):
+            backend, _, flavour = kind.partition("+")
+            factory = TcpNetwork if backend == "tcp" else AioTcpNetwork
+
+            def codec():
+                if flavour == "compact":
+                    return FrameCodec(CompactCodec(), adaptive=backend == "aio")
+                return None  # the backend's default codec
+
+            net_a = scaffold.create(
+                factory, Address("127.0.0.1", 0, node_id=1), codec=codec()
+            )
+            net_b = scaffold.create(
+                factory, Address("127.0.0.1", 0, node_id=2), codec=codec()
+            )
             addr_a, addr_b = net_a.definition.address, net_b.definition.address
         else:
             addr_a, addr_b = local_address(1, node_id=1), local_address(2, node_id=2)
@@ -110,7 +130,17 @@ def _scaffold(builder):
 PAYLOAD = b"x" * 1024
 
 
-@pytest.mark.parametrize("kind", ["loopback", "loopback+codec", "tcp"])
+KINDS = [
+    "loopback",
+    "loopback+codec",
+    "tcp",
+    "tcp+compact",
+    "aio",
+    "aio+compact",
+]
+
+
+@pytest.mark.parametrize("kind", KINDS)
 def test_network_round_trip(benchmark, kind):
     system, built = build_pair(kind)
     requester = built["requester"]
@@ -133,7 +163,7 @@ def test_network_round_trip(benchmark, kind):
 @pytest.fixture(scope="module", autouse=True)
 def network_report():
     yield
-    if len(_results) < 3:
+    if len(_results) < len(KINDS):
         return
     print_table(
         "Network implementations — 1 KB request/response round trip",

@@ -10,18 +10,34 @@ MINA/Netty/Grizzly pluggability, section 3):
 """
 
 from .address import Address, local_address
+from .compact import CompactCodec, register_compact
 from .delayed import DelayedLoopbackNetwork
 from .json_codec import JsonCodec, register_message, registered_types
 from .loopback import LoopbackHub, LoopbackNetwork, hub_of
 from .message import Message, Network, NetworkControlMessage
-from .serialization import Codec, FrameCodec, PickleCodec, SerializationError
+from .serialization import (
+    AdaptiveCompressor,
+    Codec,
+    FrameCodec,
+    FrameStreamParser,
+    PickleCodec,
+    SerializationError,
+)
 from .tcp import TcpNetwork
 
+# Imported last: aio reaches into protocols.monitor (Status port), whose
+# package init re-imports network submodules — by now they are all loaded.
+from .aio import AioTcpNetwork  # noqa: E402  (import-order is load-bearing)
+
 __all__ = [
+    "AdaptiveCompressor",
     "Address",
+    "AioTcpNetwork",
     "Codec",
+    "CompactCodec",
     "DelayedLoopbackNetwork",
     "FrameCodec",
+    "FrameStreamParser",
     "JsonCodec",
     "LoopbackHub",
     "LoopbackNetwork",
@@ -33,6 +49,7 @@ __all__ = [
     "TcpNetwork",
     "hub_of",
     "local_address",
+    "register_compact",
     "register_message",
     "registered_types",
 ]

@@ -291,6 +291,12 @@ def is_registered(cls: type) -> bool:
 class CompactCodec(Codec):
     """Field-level binary codec over the registry, pickle for the rest."""
 
+    @staticmethod
+    def is_already_compact(payload) -> bool:
+        """True for registered-layout payloads: dense binary that zlib
+        almost never shrinks, so adaptive framing skips the attempt."""
+        return len(payload) > 0 and payload[0] == _COMPACT
+
     def encode(self, message: Message) -> bytes:
         entry = _BY_CLASS.get(type(message))
         if entry is None:
@@ -312,8 +318,11 @@ class CompactCodec(Codec):
             ) from exc
         return bytes(out)
 
-    def decode(self, payload: bytes) -> Message:
-        if not payload:
+    def decode(self, payload) -> Message:
+        # Accepts bytes or a memoryview slice of a receive buffer: every
+        # field decoder below materialises what it keeps (bytes()/pickle
+        # copies), so nothing retains the caller's buffer.
+        if not len(payload):
             raise SerializationError("empty payload")
         marker = payload[0]
         if marker == _FALLBACK:

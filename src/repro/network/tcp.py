@@ -21,6 +21,12 @@ from typing import Optional
 
 from ..core.component import ComponentDefinition
 from ..core.handler import handles
+from ..protocols.monitor.port import (
+    Status,
+    StatusRequest,
+    StatusResponse,
+    StatusSnapshotEnd,
+)
 from .address import Address
 from .message import Message, Network, NetworkControlMessage
 from .serialization import FrameCodec, SerializationError
@@ -43,14 +49,24 @@ class TcpNetwork(ComponentDefinition):  # repro: noqa[P006]
         address: Address,
         codec: Optional[FrameCodec] = None,
         connect_timeout: float = 5.0,
+        outbound_limit: int = 8192,
+        overflow: str = "drop_oldest",
+        block_timeout: float = 5.0,
     ) -> None:
         super().__init__()
+        if overflow not in ("drop_oldest", "block"):
+            raise ValueError(f"unknown overflow policy {overflow!r}")
         self.address = address
         self.port = self.provides(Network)
+        self.status = self.provides(Status)
         self.codec = codec if codec is not None else FrameCodec()
         self.connect_timeout = connect_timeout
+        self.outbound_limit = outbound_limit
+        self.overflow = overflow
+        self.block_timeout = block_timeout
         self.sent = 0
         self.received = 0
+        self.dropped_frames = 0
         self._connections: dict[tuple[str, int], _Connection] = {}
         # A transport endpoint is process-local by definition: migrating a
         # TcpNetwork means binding a fresh listener at the destination and
@@ -70,6 +86,7 @@ class TcpNetwork(ComponentDefinition):  # repro: noqa[P006]
         )
         self._acceptor.start()
         self.subscribe(self.on_send, self.port)
+        self.subscribe(self.on_status, self.status)
 
     # --------------------------------------------------------------- sending
 
@@ -86,6 +103,24 @@ class TcpNetwork(ComponentDefinition):  # repro: noqa[P006]
         if connection is not None:
             connection.send(message)
             self.sent += 1
+
+    @handles(StatusRequest)
+    def on_status(self, _request: StatusRequest) -> None:
+        self.trigger(StatusResponse("tcp-network", self.status_snapshot()), self.status)
+        self.trigger(StatusSnapshotEnd(), self.status)
+
+    def status_snapshot(self) -> dict:
+        with self._lock:
+            connections = len(self._connections)
+            queued = sum(c._outbox.qsize() for c in self._connections.values())
+        return {
+            "address": str(self.address),
+            "sent": self.sent,
+            "received": self.received,
+            "dropped_frames": self.dropped_frames,
+            "queued_frames": queued,
+            "connections": connections,
+        }
 
     def _connection_to(self, destination: Address) -> Optional["_Connection"]:
         key = (destination.host, destination.port)
@@ -152,7 +187,15 @@ class TcpNetwork(ComponentDefinition):  # repro: noqa[P006]
 
 
 class _Connection:
-    """One TCP connection: a writer queue/thread and a reader thread."""
+    """One TCP connection: a writer queue/thread and a reader thread.
+
+    The outbox is bounded by the owner's ``outbound_limit`` high-water
+    mark: a stalled peer cannot grow the queue without limit (the
+    M002-shaped failure mode).  On overflow the ``drop_oldest`` policy
+    sheds the head of the queue, ``block`` applies backpressure to the
+    sending handler for up to ``block_timeout`` before shedding the new
+    frame; either way the shed frames land in ``dropped_frames``.
+    """
 
     def __init__(
         self,
@@ -164,7 +207,9 @@ class _Connection:
         self.sock = sock
         self.key = key
         self.closed = False
-        self._outbox: "queue.Queue[Optional[bytes]]" = queue.Queue()
+        self._outbox: "queue.Queue[Optional[bytes]]" = queue.Queue(
+            maxsize=owner.outbound_limit
+        )
         self._writer = threading.Thread(target=self._write_loop, daemon=True)
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
 
@@ -176,15 +221,48 @@ class _Connection:
         if self.closed:
             return
         try:
-            self._outbox.put(self.owner.codec.frame(message))
+            frame = self.owner.codec.frame(message)
         except SerializationError:
             self.owner.log.exception("dropping unserializable message")
+            return
+        if self.owner.overflow == "block":
+            try:
+                self._outbox.put(frame, timeout=self.owner.block_timeout)
+                return
+            except queue.Full:
+                self._count_drop()
+                return
+        while not self.closed:
+            try:
+                self._outbox.put_nowait(frame)
+                return
+            except queue.Full:
+                try:
+                    dropped = self._outbox.get_nowait()
+                except queue.Empty:
+                    continue
+                if dropped is None:  # raced close(): restore the sentinel
+                    self._outbox.put_nowait(None)
+                    return
+                self._count_drop()
+
+    def _count_drop(self) -> None:
+        with self.owner._lock:
+            self.owner.dropped_frames += 1
 
     def close(self) -> None:
         if self.closed:
             return
         self.closed = True
-        self._outbox.put(None)
+        while True:  # a full outbox must still admit the shutdown sentinel
+            try:
+                self._outbox.put_nowait(None)
+                break
+            except queue.Full:
+                try:
+                    self._outbox.get_nowait()
+                except queue.Empty:
+                    pass
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -211,11 +289,14 @@ class _Connection:
         try:
             while True:
                 try:
-                    message = self.owner.codec.read_frame(stream)
+                    # Batch-tolerant: a coalescing AioTcpNetwork peer may
+                    # fold many messages into one wire frame.
+                    messages = self.owner.codec.read_frames(stream)
                 except (SerializationError, OSError):
                     break
-                if message is None:
+                if messages is None:
                     break
-                self.owner._deliver(message, self)
+                for message in messages:
+                    self.owner._deliver(message, self)
         finally:
             self.close()
