@@ -50,7 +50,13 @@ from ..protocols.monitor.port import (
 )
 from .address import Address
 from .message import Message, Network
-from .serialization import FrameCodec, FrameStreamParser, SerializationError
+from .serialization import (
+    BATCH_OVERHEAD,
+    FRAME_OVERHEAD,
+    FrameCodec,
+    FrameStreamParser,
+    SerializationError,
+)
 from .tcp import _Hello
 
 #: iovec segments per sendmsg call, safely under every platform's IOV_MAX.
@@ -92,6 +98,7 @@ class _AioConnection:
         "inflight",
         "connecting",
         "connect_deadline",
+        "established_at",
         "last_active",
         "events",
         "closed",
@@ -104,6 +111,7 @@ class _AioConnection:
         self.inflight: list = []  # unsent tail of the current batch (memoryviews)
         self.connecting = False
         self.connect_deadline = 0.0
+        self.established_at = time.monotonic()
         self.last_active = time.monotonic()
         self.events = 0
         self.closed = False
@@ -400,8 +408,12 @@ class AioTcpNetwork(ComponentDefinition):  # repro: noqa[P006]
                 self._dial_failed(peer)
             return
         conn.connecting = False
+        conn.established_at = time.monotonic()
+        # peer.backoff is deliberately NOT reset here: a peer that accepts
+        # and immediately resets would otherwise be redialed at backoff_base
+        # forever.  _connection_broke resets the ladder only once the
+        # connection has proven stable.
         if peer is not None:
-            peer.backoff = 0.0
             peer.next_dial_at = 0.0
             destination = Address(peer.key[0], peer.key[1])
             hello = self.codec.frame(
@@ -420,16 +432,39 @@ class AioTcpNetwork(ComponentDefinition):  # repro: noqa[P006]
             if not conn.inflight:
                 parts: list[tuple[int, bytes]] = []
                 if peer is not None:
+                    # A batch body must stay within codec.max_frame or the
+                    # receiver (and batch_buffers itself) refuses it, so the
+                    # batch is bounded by accumulated wire bytes as well as
+                    # message count.  The first part is always taken: a batch
+                    # of one degrades to a plain frame, whose payload
+                    # encode_payload already size-checked.
+                    budget = self.codec.max_frame - BATCH_OVERHEAD
+                    body = 0
                     with self._lock:
                         outbox = peer.outbox
                         while outbox and len(parts) < self.max_batch:
+                            size = FRAME_OVERHEAD + len(outbox[0][1])
+                            if parts and body + size > budget:
+                                break
                             parts.append(outbox.popleft())
+                            body += size
                         if parts and self.overflow == "block":
                             self._space.notify_all()
                 if not parts:
                     self._want_write(conn, False)
                     return
-                _total, buffers = self.codec.batch_buffers(parts)
+                try:
+                    _total, buffers = self.codec.batch_buffers(parts)
+                except SerializationError:
+                    # Defense in depth: a batch the codec refuses must shed
+                    # its frames, never kill the loop thread (which would
+                    # tear down every socket for good).
+                    self.log.exception(
+                        "dropping unsendable batch of %d frames", len(parts)
+                    )
+                    with self._lock:
+                        self.dropped_frames += len(parts)
+                    continue
                 conn.inflight = [memoryview(b) for b in buffers]
                 self.batches += 1
                 self.batched_messages += len(parts)
@@ -608,15 +643,22 @@ class AioTcpNetwork(ComponentDefinition):  # repro: noqa[P006]
 
     def _connection_broke(self, conn: _AioConnection) -> None:
         peer = conn.peer
+        now = time.monotonic()
+        stable = now - conn.established_at >= self.backoff_max
         self._close_conn(conn)
         if peer is not None and peer.outbox and not self._closing:
             # Queued-but-unflushed frames survive the break; redial after
             # backoff.  Frames already folded into a partial batch are
             # gone, exactly like bytes the oracle handed to the kernel.
             self.reconnects += 1
-            peer.next_dial_at = time.monotonic() + min(
+            if stable:
+                # The connection outlived the backoff ceiling, so the peer
+                # was genuinely healthy: restart the ladder from the base.
+                peer.backoff = 0.0
+            peer.backoff = min(
                 self.backoff_max, peer.backoff * 2 or self.backoff_base
             )
+            peer.next_dial_at = now + peer.backoff
             self._maybe_dial(peer)
 
     def _close_conn(self, conn: _AioConnection) -> None:

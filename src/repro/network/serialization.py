@@ -44,6 +44,10 @@ _HEADER = struct.Struct(">IB")
 _U32 = struct.Struct(">I")
 FLAG_COMPRESSED = 0x01
 FLAG_BATCH = 0x02
+#: Framing bytes per message: the length + flags header.
+FRAME_OVERHEAD = _HEADER.size
+#: Extra framing bytes per batch body: the message-count prefix.
+BATCH_OVERHEAD = _U32.size
 
 ReadableBuffer = Union[bytes, bytearray, memoryview]
 

@@ -243,6 +243,7 @@ class _Connection:
                     continue
                 if dropped is None:  # raced close(): restore the sentinel
                     self._outbox.put_nowait(None)
+                    self._count_drop()  # the new frame is shed too
                     return
                 self._count_drop()
 

@@ -13,7 +13,14 @@ import time
 from dataclasses import dataclass
 
 from repro import ComponentDefinition, ComponentSystem, WorkStealingScheduler
-from repro.network import Address, AioTcpNetwork, Message, Network, TcpNetwork
+from repro.network import (
+    Address,
+    AioTcpNetwork,
+    FrameCodec,
+    Message,
+    Network,
+    TcpNetwork,
+)
 from repro.protocols.monitor.port import (
     Status,
     StatusRequest,
@@ -141,6 +148,28 @@ def test_aio_ordering_and_coalescing_under_burst():
     # messages proves coalescing actually engaged.
     assert snapshot["batched_messages"] >= 300
     assert snapshot["batches"] < snapshot["batched_messages"]
+    system.shutdown()
+
+
+def test_aio_batches_are_byte_bounded_under_large_burst():
+    # Regression: coalescing must bound a batch by accumulated bytes, not
+    # just message count.  A queued burst whose combined size exceeds
+    # codec.max_frame used to make batch_buffers raise on the loop
+    # thread, tearing down the whole backend — nothing delivered again.
+    system = _system()
+    built = _pair(
+        system,
+        codec=FrameCodec(compress_threshold=None, max_frame=1024 * 1024),
+    )
+    a, b = built["a"], built["b"]
+    body = b"\x00" * (200 * 1024)  # 10 x 200KB queued >> 1MB max_frame
+    for n in range(10):
+        a.send(b.address, n, body=body)
+    assert wait_until(lambda: b.inbox == list(range(10)), timeout=20)
+    # The loop thread must still be alive and flushing afterwards.
+    a.send(b.address, 99)
+    assert wait_until(lambda: 99 in b.inbox, timeout=10)
+    assert built["nets"]["a"].status_snapshot()["dropped_frames"] == 0
     system.shutdown()
 
 
